@@ -1,0 +1,174 @@
+// Command snpu-bench regenerates the paper's evaluation tables and
+// figures on the simulated SoC and prints them as text tables.
+//
+// Usage:
+//
+//	snpu-bench                 # run every experiment
+//	snpu-bench -exp fig13      # one experiment: fig1, table1, fig13,
+//	                           # fig14, fig15, fig16, fig17, fig18, tcb
+//	snpu-bench -models alexnet,yololite
+//	snpu-bench -markdown       # wrap tables for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hwcost"
+	"repro/internal/npu"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb)")
+	modelsFlag := flag.String("models", "", "comma-separated model subset (default: all six)")
+	markdown := flag.Bool("markdown", false, "emit fenced code blocks with headings")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	models, err := selectModels(*modelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := npu.DefaultConfig()
+
+	section := func(title, body string) {
+		if *markdown {
+			fmt.Fprintf(out, "### %s\n\n```\n%s```\n\n", title, body)
+		} else {
+			fmt.Fprintf(out, "==== %s ====\n%s\n", title, body)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig1") {
+		ran = true
+		res, err := experiments.Fig1(models, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 1 — FLOPS utilization of single inference workloads", res.TableString())
+	}
+	if want("table1") {
+		ran = true
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Table I — scratchpad isolation mechanisms", res.TableString())
+	}
+	if want("fig13") {
+		ran = true
+		res, err := experiments.Fig13(models, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 13(a) — access control: normalized performance", res.TableA())
+		section("Fig. 13(b) — access control: translation requests", res.TableB())
+	}
+	if want("fig14") {
+		ran = true
+		res, err := experiments.Fig14(models, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 14 — flush granularity overhead (time-shared)", res.TableString())
+	}
+	if want("fig15") {
+		ran = true
+		res, err := experiments.Fig15(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 15 — static partition vs ID-based dynamic scratchpad", res.TableString())
+	}
+	if want("fig16") {
+		ran = true
+		res, err := experiments.Fig16(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 16 — NoC micro-test", res.TableString())
+	}
+	if want("fig17") {
+		ran = true
+		res, err := experiments.Fig17(models, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig. 17 — NoC application test (model-parallel, 2x2 cores)", res.TableString())
+	}
+	if want("fig18") {
+		ran = true
+		res := experiments.Fig18(hwcost.DefaultParams())
+		section("Fig. 18 — hardware resource cost", res.TableString())
+	}
+	if want("tcb") {
+		ran = true
+		res, err := experiments.TCB()
+		if err != nil {
+			fatal(err)
+		}
+		section("TCB size analysis (§VI-F, over this repository)", res.TableString())
+	}
+	if want("ablations") {
+		ran = true
+		sweeps := []func() (*experiments.AblationResult, error){
+			func() (*experiments.AblationResult, error) { return experiments.AblationIOTLBSweep("yololite", cfg) },
+			func() (*experiments.AblationResult, error) { return experiments.AblationSpadBudget("alexnet", cfg) },
+			func() (*experiments.AblationResult, error) { return experiments.AblationMultiDomain(), nil },
+			func() (*experiments.AblationResult, error) { return experiments.AblationL2("alexnet", cfg) },
+			func() (*experiments.AblationResult, error) { return experiments.AblationMulticast(cfg) },
+			func() (*experiments.AblationResult, error) {
+				return experiments.AblationCheckingEnergy("yololite", cfg)
+			},
+			func() (*experiments.AblationResult, error) { return experiments.AblationBandwidth("alexnet", cfg) },
+			func() (*experiments.AblationResult, error) { return experiments.AblationPreemption("yololite", cfg) },
+		}
+		for _, sweep := range sweeps {
+			res, err := sweep()
+			if err != nil {
+				fatal(err)
+			}
+			section("Ablation — "+res.Name, res.TableString())
+		}
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func selectModels(flagVal string) ([]workload.Workload, error) {
+	if flagVal == "" {
+		return workload.All(), nil
+	}
+	var out []workload.Workload
+	for _, name := range strings.Split(flagVal, ",") {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snpu-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command snpu-sim runs one inference workload on the simulated SoC
+// and reports its runtime, utilization, and hardware counters.
+//
+// Usage:
+//
+//	snpu-sim -model resnet                     # sNPU-protected run
+//	snpu-sim -model bert -baseline             # unprotected baseline
+//	snpu-sim -model alexnet -secure            # through the NPU Monitor
+//	snpu-sim -model googlenet -counters        # dump stat counters
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+
+	snpu "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "yololite", "workload: googlenet, alexnet, yololite, mobilenet, resnet, bert, vgg16, gpt-decode, dlrm")
+	baseline := flag.Bool("baseline", false, "run on the unprotected baseline NPU")
+	secure := flag.Bool("secure", false, "run as a secure task through the NPU Monitor")
+	counters := flag.Bool("counters", false, "dump hardware counters after the run")
+	traceOut := flag.String("trace", "", "write a Chrome-trace JSON timeline to this file")
+	modelFile := flag.String("model-file", "", "run a custom workload described in this JSON file")
+	flag.Parse()
+
+	cfg := snpu.DefaultConfig()
+	if *baseline {
+		cfg = snpu.BaselineConfig()
+	}
+	sys, err := snpu.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res snpu.InferenceResult
+	if *modelFile != "" {
+		if *secure || *traceOut != "" {
+			fatal(fmt.Errorf("-model-file supports the plain non-secure path only"))
+		}
+		f, err := os.Open(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := workload.ReadJSONWorkload(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err = sys.RunWorkload(w)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, "non-secure (custom model)")
+		if *counters {
+			fmt.Println("\nhardware counters:")
+			fmt.Print(sys.Stats().String())
+		}
+		return
+	}
+	if *traceOut != "" {
+		if *secure || *baseline {
+			fatal(fmt.Errorf("-trace only supports the default non-secure protected run"))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err = sys.RunModelTraced(*model, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	} else if *secure {
+		if *baseline {
+			fatal(fmt.Errorf("the baseline NPU has no monitor; drop -baseline"))
+		}
+		key := make([]byte, snpu.SealKeySize)
+		if _, err := rand.Read(key); err != nil {
+			fatal(err)
+		}
+		if err := sys.ProvisionKey("cli-owner", key); err != nil {
+			fatal(err)
+		}
+		sealed, err := snpu.SealModel(key, []byte("model weights for "+*model))
+		if err != nil {
+			fatal(err)
+		}
+		handle, err := sys.SubmitSecure(*model, "cli-owner", sealed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = sys.RunSecure(handle)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = sys.RunModel(*model)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	mode := "non-secure"
+	if *secure {
+		mode = "secure (via NPU Monitor)"
+	}
+	printResult(res, mode)
+	if *counters {
+		fmt.Println("\nhardware counters:")
+		fmt.Print(sys.Stats().String())
+	}
+}
+
+func printResult(res snpu.InferenceResult, mode string) {
+	fmt.Printf("model:        %s\n", res.Model)
+	fmt.Printf("mode:         %s\n", mode)
+	fmt.Printf("cycles:       %d (%.3f ms at 1 GHz)\n", res.Cycles, float64(res.Cycles)/1e6)
+	fmt.Printf("MACs:         %d (%.2f GMACs)\n", res.MACs, float64(res.MACs)/1e9)
+	fmt.Printf("utilization:  %.1f%% of peak\n", res.Utilization*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snpu-sim:", err)
+	os.Exit(1)
+}

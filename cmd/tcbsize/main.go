@@ -1,0 +1,28 @@
+// Command tcbsize reproduces the §VI-F TCB analysis over this
+// repository: lines of code in the trusted packages (the NPU Monitor
+// and the security-decision libraries it links) against the untrusted
+// NPU software stack (driver, compiler, models, simulator plumbing).
+//
+// Usage:
+//
+//	tcbsize
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.TCB()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcbsize:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.TableString())
+	trusted, untrusted := res.Totals()
+	fmt.Printf("\nTCB fraction: %.1f%% of the NPU software stack\n",
+		100*float64(trusted)/float64(trusted+untrusted))
+}

@@ -1,0 +1,73 @@
+package snpu_test
+
+// Godoc examples for the public API. These run under `go test` and
+// anchor the README's snippets to code that actually compiles.
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	snpu "repro"
+)
+
+// Boot a protected system and run a public model.
+func Example() {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunModel("yololite")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Model, res.Cycles > 0)
+	// Output: yololite true
+}
+
+// Run a confidential model through the NPU Monitor: the sealed weights
+// never appear in plaintext outside the secure world.
+func ExampleSystem_RunSecure() {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := bytes.Repeat([]byte{7}, snpu.SealKeySize)
+	if err := sys.ProvisionKey("owner", key); err != nil {
+		log.Fatal(err)
+	}
+	sealed, err := snpu.SealModel(key, []byte("weights"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := sys.SubmitSecure("yololite", "owner", sealed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunSecure(task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Model, res.Cycles > 0)
+	// Output: yololite true
+}
+
+// Compare sNPU's ID-isolated time sharing against flushing.
+func ExampleSystem_TimeShare() {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.TimeShare("yololite", "yololite", snpu.FlushPerTile, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flush cycles with ID isolation:", res.FlushCycles)
+	// Output: flush cycles with ID isolation: 0
+}
+
+// List the built-in evaluation workloads.
+func ExampleWorkloads() {
+	fmt.Println(snpu.Workloads())
+	// Output: [googlenet alexnet yololite mobilenet resnet bert]
+}

@@ -1,0 +1,69 @@
+// Pipeline: model-parallel multi-core inference over the NoC. Splits
+// each layer's output channels across a 2x2 block of cores, exchanges
+// activation slices after every layer, and compares the direct
+// (peephole-authenticated) NoC against the software NoC that bounces
+// activations through shared DRAM.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snpu "repro"
+	"repro/internal/npu"
+	"repro/internal/spad"
+	"repro/internal/workload"
+)
+
+func main() {
+	model := "googlenet"
+	if _, err := workload.ByName(model); err != nil {
+		log.Fatal(err)
+	}
+	// A 2x2 block on the 5x2 mesh: cores 0,1 (row 0) and 5,6 (row 1).
+	block := []int{0, 1, 5, 6}
+	fmt.Printf("model-parallel %s over cores %v (2x2 block)\n\n", model, block)
+
+	run := func(mode snpu.TransferMode, secureBlock bool) snpu.ModelParallelResult {
+		sys, err := snpu.New(snpu.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if secureBlock {
+			// Flip the whole block into the secure domain so peephole
+			// authentication passes among its members (and rejects
+			// everyone else). In a deployment the monitor's secure
+			// loader does this after the route-integrity check.
+			if err := sys.NPU().SetCoreDomains(sys.Machine().SecureContext(), block, spad.SecureDomain); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sys.RunModelParallel(model, block, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	noc := run(npu.TransferNoC, true)
+	shm := run(npu.TransferSharedMemory, false)
+
+	fmt.Printf("peephole NoC     : %10d cycles (%6d in exchanges)\n", noc.TotalCycles, noc.TransferCycles)
+	fmt.Printf("software NoC     : %10d cycles (%6d in exchanges)\n", shm.TotalCycles, shm.TransferCycles)
+	fmt.Printf("NoC speedup      : %.1f%% less execution time\n",
+		100*(1-float64(noc.TotalCycles)/float64(shm.TotalCycles)))
+
+	// Solo single-core reference for scale.
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo, err := sys.RunModel(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsingle core      : %10d cycles (multi-core speedup %.2fx)\n",
+		solo.Cycles, float64(solo.Cycles)/float64(noc.TotalCycles))
+}

@@ -1,0 +1,118 @@
+package attack
+
+import "testing"
+
+// Every scenario must succeed against the baseline (the vulnerability
+// is real) and be blocked by the sNPU mechanism (the defense works).
+
+func TestLeftoverLocals(t *testing.T) {
+	base, err := LeftoverLocals(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("baseline did not leak stale scratchpad data")
+	}
+	prot, err := LeftoverLocals(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("sNPU did not block LeftoverLocals: %+v", prot)
+	}
+}
+
+func TestSharedSpadSteal(t *testing.T) {
+	base, err := SharedSpadSteal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("baseline did not leak shared scratchpad data")
+	}
+	prot, err := SharedSpadSteal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("sNPU did not block shared-spad steal: %+v", prot)
+	}
+}
+
+func TestNoCHijack(t *testing.T) {
+	base, err := NoCHijack(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("unauthorized NoC did not deliver hijacked payload")
+	}
+	prot, err := NoCHijack(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("peephole did not block hijack: %+v", prot)
+	}
+}
+
+func TestNoCInject(t *testing.T) {
+	base, err := NoCInject(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("unauthorized NoC did not deliver injected packet")
+	}
+	prot, err := NoCInject(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("peephole did not block injection: %+v", prot)
+	}
+}
+
+func TestDMAExfiltrate(t *testing.T) {
+	base, err := DMAExfiltrate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("baseline NPU could not read secure memory (attack setup broken)")
+	}
+	prot, err := DMAExfiltrate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("Guarder did not block exfiltration: %+v", prot)
+	}
+}
+
+func TestDriverTamper(t *testing.T) {
+	out, err := DriverTamper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Blocked || out.Leaked {
+		t.Fatalf("normal world programmed secure NPU state: %+v", out)
+	}
+}
+
+func TestRouteIntegrity(t *testing.T) {
+	base, err := RouteIntegrity(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Leaked {
+		t.Fatal("unchecked mis-scheduling was not accepted (attack setup broken)")
+	}
+	prot, err := RouteIntegrity(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Blocked || prot.Leaked {
+		t.Fatalf("route-integrity check did not reject the 1x4 allocation: %+v", prot)
+	}
+}

@@ -1,0 +1,202 @@
+// Package cache models the SoC's shared L2 (Table II: 2 MB, 8 banks):
+// a physically indexed, set-associative, banked cache sitting between
+// the NPU's DMA engines and the DRAM channel. NPU streams mostly blow
+// through it, but reused tiles (the A-tile reload traffic the tiler
+// creates) can hit, which is what the L2 ablation bench measures.
+//
+// The model is timing-first: Access classifies each line of a request
+// as hit or miss, charges bank occupancy for hits, and leaves the
+// misses for the caller to serialize on the DRAM channel.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config sizes the L2.
+type Config struct {
+	// SizeBytes is the total capacity (2 MB in Table II).
+	SizeBytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// Banks is the number of independently accessible banks (8).
+	Banks int
+	// HitLatency is the load-to-use latency of a hit.
+	HitLatency sim.Cycle
+	// BankBytesPerCycle is each bank's hit bandwidth.
+	BankBytesPerCycle int
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:         2 << 20,
+		LineBytes:         64,
+		Ways:              8,
+		Banks:             8,
+		HitLatency:        20,
+		BankBytesPerCycle: 32,
+	}
+}
+
+// Validate rejects unusable geometries.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 || c.Banks <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%(c.Ways*c.Banks) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible into %d ways x %d banks",
+			lines, c.Ways, c.Banks)
+	}
+	if c.BankBytesPerCycle <= 0 {
+		return fmt.Errorf("cache: zero bank bandwidth")
+	}
+	return nil
+}
+
+type way struct {
+	tag    uint64
+	valid  bool
+	lastAt uint64
+}
+
+// L2 is the cache state plus per-bank timing resources.
+type L2 struct {
+	cfg   Config
+	sets  int     // per bank
+	ways  [][]way // [bank*sets + set][way]
+	banks []*sim.Resource
+	tick  uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds an empty L2.
+func New(cfg Config) (*L2, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	setsTotal := lines / cfg.Ways
+	setsPerBank := setsTotal / cfg.Banks
+	l := &L2{cfg: cfg, sets: setsPerBank}
+	l.ways = make([][]way, setsTotal)
+	for i := range l.ways {
+		l.ways[i] = make([]way, cfg.Ways)
+	}
+	for b := 0; b < cfg.Banks; b++ {
+		l.banks = append(l.banks, sim.NewResource(fmt.Sprintf("l2-bank%d", b)))
+	}
+	return l, nil
+}
+
+// Config returns the cache geometry.
+func (l *L2) Config() Config { return l.cfg }
+
+// indexOf maps a line address to (bank, set index within the flat
+// ways array).
+func (l *L2) indexOf(lineAddr uint64) (bank int, flatSet int) {
+	bank = int(lineAddr % uint64(l.cfg.Banks))
+	set := int((lineAddr / uint64(l.cfg.Banks)) % uint64(l.sets))
+	return bank, bank*l.sets + set
+}
+
+// lookupLine probes and fills one line; reports hit.
+func (l *L2) lookupLine(lineAddr uint64) bool {
+	l.tick++
+	_, fs := l.indexOf(lineAddr)
+	set := l.ways[fs]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lastAt = l.tick
+			l.Hits++
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastAt < set[victim].lastAt {
+			victim = i
+		}
+	}
+	l.Misses++
+	set[victim] = way{tag: lineAddr, valid: true, lastAt: l.tick}
+	return false
+}
+
+// AccessResult classifies one request.
+type AccessResult struct {
+	HitBytes  uint64
+	MissBytes uint64
+	// HitDone is when the hit portion has been served by the banks.
+	HitDone sim.Cycle
+}
+
+// Access probes every line of [pa, pa+bytes) at cycle `at`: hits are
+// served from the banks (claiming bank bandwidth), misses are filled
+// (so a re-access hits) and returned for the caller to fetch from
+// DRAM. Writes allocate like reads (the NPU's mvout stream is
+// write-allocated into L2 in this model).
+func (l *L2) Access(pa mem.PhysAddr, bytes uint64, at sim.Cycle) AccessResult {
+	if bytes == 0 {
+		return AccessResult{HitDone: at}
+	}
+	lb := uint64(l.cfg.LineBytes)
+	first := uint64(pa) / lb
+	last := (uint64(pa) + bytes - 1) / lb
+	res := AccessResult{HitDone: at}
+	for line := first; line <= last; line++ {
+		span := lb
+		if line == first {
+			span -= uint64(pa) % lb
+		}
+		if line == last {
+			end := (uint64(pa) + bytes) % lb
+			if end != 0 {
+				span -= lb - end
+			}
+		}
+		if l.lookupLine(line) {
+			res.HitBytes += span
+			bank, _ := l.indexOf(line)
+			dur := sim.Cycle((span + uint64(l.cfg.BankBytesPerCycle) - 1) / uint64(l.cfg.BankBytesPerCycle))
+			start := l.banks[bank].Claim(at, dur)
+			if done := start + dur + l.cfg.HitLatency; done > res.HitDone {
+				res.HitDone = done
+			}
+		} else {
+			res.MissBytes += span
+		}
+	}
+	return res
+}
+
+// HitRate reports hits/(hits+misses).
+func (l *L2) HitRate() float64 {
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Hits) / float64(total)
+}
+
+// Reset invalidates the cache and idles the banks.
+func (l *L2) Reset() {
+	for i := range l.ways {
+		for j := range l.ways[i] {
+			l.ways[i][j] = way{}
+		}
+	}
+	for _, b := range l.banks {
+		b.Reset()
+	}
+	l.Hits = 0
+	l.Misses = 0
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newL2(t *testing.T) *L2 {
+	t.Helper()
+	l, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := DefaultConfig()
+	bad.Ways = 7 // 32768 lines not divisible by 7*8
+	if _, err := New(bad); err == nil {
+		t.Fatal("indivisible geometry accepted")
+	}
+	bad = DefaultConfig()
+	bad.BankBytesPerCycle = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	l := newL2(t)
+	r1 := l.Access(0x8000_0000, 64, 0)
+	if r1.MissBytes != 64 || r1.HitBytes != 0 {
+		t.Fatalf("cold access: %+v", r1)
+	}
+	r2 := l.Access(0x8000_0000, 64, 100)
+	if r2.HitBytes != 64 || r2.MissBytes != 0 {
+		t.Fatalf("warm access: %+v", r2)
+	}
+	if r2.HitDone <= 100 {
+		t.Fatal("hit served in zero time")
+	}
+	if l.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", l.HitRate())
+	}
+}
+
+func TestPartialLineAccounting(t *testing.T) {
+	l := newL2(t)
+	// 100 bytes starting mid-line spans lines but byte counts must sum.
+	r := l.Access(0x8000_0020, 100, 0)
+	if r.HitBytes+r.MissBytes != 100 {
+		t.Fatalf("bytes don't sum: %+v", r)
+	}
+	r = l.Access(0x8000_0020, 100, 0)
+	if r.HitBytes != 100 {
+		t.Fatalf("warm partial access missed: %+v", r)
+	}
+}
+
+func TestZeroByteAccess(t *testing.T) {
+	l := newL2(t)
+	r := l.Access(0x8000_0000, 0, 42)
+	if r.HitBytes != 0 || r.MissBytes != 0 || r.HitDone != 42 {
+		t.Fatalf("zero-byte access: %+v", r)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 64 * 1024 // small L2 to force eviction
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 4x the capacity, then re-stream: everything evicted.
+	span := uint64(4 * cfg.SizeBytes)
+	l.Access(0x8000_0000, span, 0)
+	h0 := l.Hits
+	l.Access(0x8000_0000, uint64(cfg.LineBytes), 0)
+	// The first line was evicted long ago.
+	if l.Hits != h0 {
+		t.Fatal("evicted line hit")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 8 * 1024
+	cfg.Ways = 2
+	cfg.Banks = 1
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := (cfg.SizeBytes / cfg.LineBytes) / cfg.Ways
+	stride := uint64(sets * cfg.LineBytes) // same set, different tags
+	a, b, c := mem.PhysAddr(0), mem.PhysAddr(stride), mem.PhysAddr(2*stride)
+	l.Access(a, 64, 0)
+	l.Access(b, 64, 0)
+	l.Access(a, 64, 0) // a is MRU
+	l.Access(c, 64, 0) // evicts b
+	if r := l.Access(a, 64, 0); r.HitBytes != 64 {
+		t.Fatal("MRU way evicted")
+	}
+	if r := l.Access(b, 64, 0); r.HitBytes != 0 {
+		t.Fatal("LRU way survived")
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	l := newL2(t)
+	// Warm one line, then hammer it: bank occupancy serializes.
+	l.Access(0x8000_0000, 64, 0)
+	d1 := l.Access(0x8000_0000, 64, 1000).HitDone
+	d2 := l.Access(0x8000_0000, 64, 1000).HitDone
+	if d2 <= d1 {
+		t.Fatalf("no bank serialization: %d then %d", d1, d2)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := newL2(t)
+	l.Access(0x8000_0000, 4096, 0)
+	l.Reset()
+	if l.Hits != 0 || l.Misses != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if r := l.Access(0x8000_0000, 64, 0); r.HitBytes != 0 {
+		t.Fatal("contents survived reset")
+	}
+}
+
+// Property: hit+miss bytes always equal the request size, and a
+// repeated access within capacity is always a full hit.
+func TestAccessAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := New(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			pa := mem.PhysAddr(0x8000_0000 + rng.Intn(1<<20))
+			bytes := uint64(rng.Intn(8192) + 1)
+			r := l.Access(pa, bytes, 0)
+			if r.HitBytes+r.MissBytes != bytes {
+				return false
+			}
+			r2 := l.Access(pa, bytes, 0)
+			if r2.HitBytes != bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

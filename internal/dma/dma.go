@@ -1,0 +1,245 @@
+// Package dma models the NPU's integrated DMA engine (a Type-1
+// integrated NPU in the paper's Fig. 2 taxonomy): it moves tiles
+// between system DRAM and the scratchpad, going through a pluggable
+// access-control unit (xlate.Translator — IOMMU, Guarder, or none) on
+// every request.
+//
+// Timing per request: a fixed DRAM access latency, plus the transfer
+// paced by DRAM bandwidth on a shared channel (contention with other
+// cores), plus whatever stall the translator inflicts (page walks).
+// Requests are split into 64-byte packets on the bus; the translator
+// decides whether it pays per packet (IOMMU) or per request (Guarder).
+package dma
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/xlate"
+)
+
+// Direction of a transfer.
+type Direction uint8
+
+const (
+	// ToScratchpad loads DRAM -> scratchpad (mvin).
+	ToScratchpad Direction = iota
+	// ToMemory stores scratchpad -> DRAM (mvout).
+	ToMemory
+)
+
+func (d Direction) String() string {
+	if d == ToScratchpad {
+		return "mvin"
+	}
+	return "mvout"
+}
+
+// Config holds the DMA timing parameters.
+type Config struct {
+	// BytesPerCycle is the DRAM channel bandwidth (16 GB/s @ 1 GHz =
+	// 16 B/cycle in the paper's Table II).
+	BytesPerCycle uint64
+	// RequestLatency is the fixed DRAM access latency per request.
+	RequestLatency sim.Cycle
+}
+
+// DefaultConfig matches the paper's SoC (Table II).
+func DefaultConfig() Config {
+	return Config{BytesPerCycle: 16, RequestLatency: 100}
+}
+
+// Request describes one DMA transfer of a contiguous region.
+type Request struct {
+	// VA is the NPU-visible virtual address of the DRAM side.
+	VA mem.VirtAddr
+	// Bytes to move.
+	Bytes uint64
+	// Dir is the transfer direction.
+	Dir Direction
+	// SpadLine is the first scratchpad wordline on the SRAM side.
+	SpadLine int
+	// World and TaskID identify the issuing context.
+	World  mem.World
+	TaskID int
+	// Functional requests actually move bytes; timing-only requests
+	// (the common case in benchmarks) skip data movement.
+	Functional bool
+}
+
+// Engine is one core's DMA unit.
+type Engine struct {
+	cfg   Config
+	xl    xlate.Translator
+	chan_ *sim.Resource // shared DRAM channel
+	phys  *mem.Physical
+	stats *sim.Stats
+	l2    *cache.L2 // optional shared L2 in front of DRAM
+}
+
+// AttachL2 routes this engine's traffic through a shared L2: hits are
+// served by the cache banks, only misses claim the DRAM channel.
+func (e *Engine) AttachL2(l2 *cache.L2) { e.l2 = l2 }
+
+// New wires a DMA engine to its translator, the shared DRAM channel,
+// and physical memory (used only by functional transfers).
+func New(cfg Config, xl xlate.Translator, channel *sim.Resource, phys *mem.Physical, stats *sim.Stats) *Engine {
+	return &Engine{cfg: cfg, xl: xl, chan_: channel, phys: phys, stats: stats}
+}
+
+// Translator returns the attached access-control unit.
+func (e *Engine) Translator() xlate.Translator { return e.xl }
+
+// Phys exposes the physical memory behind the engine (functional
+// paths stage operand bytes through it).
+func (e *Engine) Phys() *mem.Physical { return e.phys }
+
+// SetTranslator swaps the access-control unit (used when an experiment
+// compares mechanisms on one SoC).
+func (e *Engine) SetTranslator(xl xlate.Translator) { e.xl = xl }
+
+// Do executes one DMA request starting no earlier than cycle `at`,
+// optionally moving real bytes to/from sp, and returns the completion
+// cycle. Denied requests return an error and touch nothing.
+func (e *Engine) Do(req Request, sp *spad.Scratchpad, domain spad.DomainID, at sim.Cycle) (sim.Cycle, error) {
+	if req.Bytes == 0 {
+		return at, nil
+	}
+	need := mem.PermRead
+	if req.Dir == ToMemory {
+		need = mem.PermWrite
+	}
+	res, err := e.xl.Translate(xlate.Request{
+		VA: req.VA, Bytes: req.Bytes, Need: need, World: req.World, TaskID: req.TaskID,
+	}, at)
+	if err != nil {
+		return 0, fmt.Errorf("dma: %s %d bytes at va %#x: %w", req.Dir, req.Bytes, uint64(req.VA), err)
+	}
+
+	if e.stats != nil {
+		e.stats.Inc(sim.CtrDMARequests)
+		e.stats.Add(sim.CtrDMAPackets, int64((req.Bytes+xlate.PacketBytes-1)/xlate.PacketBytes))
+		e.stats.Add(sim.CtrDMABytes, int64(req.Bytes))
+		e.stats.Inc(sim.CtrDRAMRequests)
+		e.stats.Add(sim.CtrDRAMBytes, int64(req.Bytes))
+	}
+
+	// The translator's stall delays issue; then the L2 (if attached)
+	// serves hits from its banks while misses pay the channel.
+	issue := at + res.Stall
+	done := e.serveBytes(res.PA, req.Bytes, issue)
+
+	if req.Functional && sp != nil {
+		if err := e.moveBytes(req, res.PA, sp, domain); err != nil {
+			return 0, err
+		}
+	}
+	return done, nil
+}
+
+// DoPipelined issues a batch of requests back-to-back, the way the
+// hardware DMA queue does: requests pipeline behind each other on the
+// DRAM channel, translation stalls delay the stalled request's issue
+// (a pipeline bubble), and the fixed DRAM latency is paid once for the
+// batch rather than per request. It returns the completion cycle of
+// the last request. A denied request aborts the batch.
+func (e *Engine) DoPipelined(reqs []Request, sp *spad.Scratchpad, domain spad.DomainID, at sim.Cycle) (sim.Cycle, error) {
+	if len(reqs) == 0 {
+		return at, nil
+	}
+	issue := at
+	var lastEnd sim.Cycle = at
+	for _, req := range reqs {
+		if req.Bytes == 0 {
+			continue
+		}
+		need := mem.PermRead
+		if req.Dir == ToMemory {
+			need = mem.PermWrite
+		}
+		res, err := e.xl.Translate(xlate.Request{
+			VA: req.VA, Bytes: req.Bytes, Need: need, World: req.World, TaskID: req.TaskID,
+		}, issue)
+		if err != nil {
+			return 0, fmt.Errorf("dma: %s %d bytes at va %#x: %w", req.Dir, req.Bytes, uint64(req.VA), err)
+		}
+		if e.stats != nil {
+			e.stats.Inc(sim.CtrDMARequests)
+			e.stats.Add(sim.CtrDMAPackets, int64((req.Bytes+xlate.PacketBytes-1)/xlate.PacketBytes))
+			e.stats.Add(sim.CtrDMABytes, int64(req.Bytes))
+			e.stats.Inc(sim.CtrDRAMRequests)
+			e.stats.Add(sim.CtrDRAMBytes, int64(req.Bytes))
+		}
+		issue += res.Stall
+		end, start := e.serveBytesPipelined(res.PA, req.Bytes, issue)
+		if end > lastEnd {
+			lastEnd = end
+		}
+		issue = start // next request issues behind this one
+		if req.Functional && sp != nil {
+			if err := e.moveBytes(req, res.PA, sp, domain); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lastEnd + e.cfg.RequestLatency, nil
+}
+
+// serveBytes fulfils one request's data movement and returns its
+// completion cycle (including the fixed request latency).
+func (e *Engine) serveBytes(pa mem.PhysAddr, bytes uint64, issue sim.Cycle) sim.Cycle {
+	end, _ := e.serveBytesPipelined(pa, bytes, issue)
+	return end + e.cfg.RequestLatency
+}
+
+// serveBytesPipelined fulfils one request without the fixed latency
+// (the batch pays it once) and additionally returns the cycle the next
+// pipelined request may issue behind this one.
+func (e *Engine) serveBytesPipelined(pa mem.PhysAddr, bytes uint64, issue sim.Cycle) (end, next sim.Cycle) {
+	if e.l2 == nil {
+		xfer := sim.Cycle((bytes + e.cfg.BytesPerCycle - 1) / e.cfg.BytesPerCycle)
+		start := e.chan_.Claim(issue, xfer)
+		return start + xfer, start
+	}
+	r := e.l2.Access(pa, bytes, issue)
+	end = r.HitDone
+	next = issue
+	if r.MissBytes > 0 {
+		xfer := sim.Cycle((r.MissBytes + e.cfg.BytesPerCycle - 1) / e.cfg.BytesPerCycle)
+		start := e.chan_.Claim(issue, xfer)
+		next = start
+		if d := start + xfer; d > end {
+			end = d
+		}
+	}
+	return end, next
+}
+
+func (e *Engine) moveBytes(req Request, pa mem.PhysAddr, sp *spad.Scratchpad, domain spad.DomainID) error {
+	lineBytes := sp.LineBytes()
+	lines := int((req.Bytes + uint64(lineBytes) - 1) / uint64(lineBytes))
+	buf := make([]byte, lineBytes)
+	for i := 0; i < lines; i++ {
+		off := uint64(i * lineBytes)
+		n := uint64(lineBytes)
+		if off+n > req.Bytes {
+			n = req.Bytes - off
+		}
+		switch req.Dir {
+		case ToScratchpad:
+			e.phys.Read(pa+mem.PhysAddr(off), buf[:n])
+			if err := sp.Write(domain, req.SpadLine+i, buf[:n]); err != nil {
+				return fmt.Errorf("dma: scratchpad write: %w", err)
+			}
+		case ToMemory:
+			if err := sp.Read(domain, req.SpadLine+i, buf[:n]); err != nil {
+				return fmt.Errorf("dma: scratchpad read: %w", err)
+			}
+			e.phys.Write(pa+mem.PhysAddr(off), buf[:n])
+		}
+	}
+	return nil
+}

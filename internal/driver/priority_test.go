@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPriorityPreemptsLowTask(t *testing.T) {
+	d, n := testSetup(t)
+	core, _ := n.Core(0)
+	low, err := d.Submit(smallWorkload("low"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := d.Submit(smallWorkload("high"), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.RunPriority(core, []PrioTask{
+		{Task: low, Priority: 0, Arrival: 0},
+		{Task: high, Priority: 10, Arrival: 10_000},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The high-priority task starts almost immediately on arrival.
+	if res.StartDelay[1] > 50_000 {
+		t.Fatalf("high-priority start delay = %d", res.StartDelay[1])
+	}
+	// It finishes before the preempted low task.
+	if res.Finish[1] >= res.Finish[0] {
+		t.Fatalf("high (%d) did not finish before low (%d)", res.Finish[1], res.Finish[0])
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("no preemption recorded")
+	}
+	if res.FlushCycles != 0 {
+		t.Fatal("flushless run paid flush cycles")
+	}
+}
+
+func TestPriorityFlushCostsThroughput(t *testing.T) {
+	run := func(flush bool) sim.Cycle {
+		d, n := testSetup(t)
+		core, _ := n.Core(0)
+		a, err := d.Submit(smallWorkload("a"), 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Submit(smallWorkload("b"), 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same priority: round-robin-ish interleave with many switches.
+		res, err := d.RunPriority(core, []PrioTask{
+			{Task: a, Priority: 1, Arrival: 0},
+			{Task: b, Priority: 1, Arrival: 5_000},
+		}, flush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Cycle
+		for _, f := range res.Finish {
+			if f > last {
+				last = f
+			}
+		}
+		return last
+	}
+	if flushed, clean := run(true), run(false); flushed <= clean {
+		t.Fatalf("flushing (%d) not slower than ID isolation (%d)", flushed, clean)
+	}
+}
+
+func TestPriorityIdleGapAndValidation(t *testing.T) {
+	d, n := testSetup(t)
+	core, _ := n.Core(0)
+	task, err := d.Submit(smallWorkload("x"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single task arriving late: the scheduler idles until arrival.
+	res, err := d.RunPriority(core, []PrioTask{{Task: task, Priority: 0, Arrival: 123_456}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartDelay[0] != 0 {
+		t.Fatalf("late-arrival start delay = %d", res.StartDelay[0])
+	}
+	if res.Finish[0] <= 123_456 {
+		t.Fatal("finished before it arrived")
+	}
+	if _, err := d.RunPriority(core, nil, false); err == nil {
+		t.Fatal("empty task list accepted")
+	}
+	if _, err := d.RunPriority(core, []PrioTask{{}}, false); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}

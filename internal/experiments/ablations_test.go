@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/npu"
+)
+
+func TestAblationIOTLBSweepMonotone(t *testing.T) {
+	res, err := AblationIOTLBSweep("yololite", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Slowdown must be non-increasing as entries grow (within noise).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Value > res.Rows[i-1].Value+0.5 {
+			t.Fatalf("slowdown grew with more entries: %+v -> %+v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+	// 2 entries must hurt measurably.
+	if res.Rows[0].Value < 2 {
+		t.Fatalf("2-entry IOTLB suspiciously cheap: %+v", res.Rows[0])
+	}
+	if !strings.Contains(res.TableString(), "entries=2") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestAblationSpadBudgetMonotone(t *testing.T) {
+	res, err := AblationSpadBudget("alexnet", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Value > res.Rows[i-1].Value {
+			t.Fatalf("traffic grew with a bigger scratchpad: %+v -> %+v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+	// An 8x smaller scratchpad must cost visibly more traffic.
+	if res.Rows[0].Value < res.Rows[len(res.Rows)-1].Value*1.1 {
+		t.Fatalf("spad budget barely matters: %v vs %v", res.Rows[0].Value, res.Rows[len(res.Rows)-1].Value)
+	}
+}
+
+func TestAblationMultiDomainScaling(t *testing.T) {
+	res := AblationMultiDomain()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		ratio := res.Rows[i].Value / res.Rows[0].Value
+		want := float64(i + 1)
+		if ratio < want-0.01 || ratio > want+0.01 {
+			t.Fatalf("RAM overhead not linear in ID bits: %v", res.Rows)
+		}
+	}
+}
+
+func TestAblationL2Helps(t *testing.T) {
+	res, err := AblationL2("alexnet", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, through float64
+	for _, r := range res.Rows {
+		switch r.Param {
+		case "dram-direct":
+			direct = r.Value
+		case "through-l2":
+			through = r.Value
+		}
+	}
+	if direct == 0 || through == 0 {
+		t.Fatalf("missing rows: %+v", res.Rows)
+	}
+	// The L2 captures tile-reload reuse, so it must not slow things
+	// down, and on reload-heavy models it should help.
+	if through > direct {
+		t.Fatalf("L2 slowed the run: %v -> %v", direct, through)
+	}
+}
+
+func TestAblationPreemptionOrdering(t *testing.T) {
+	res, err := AblationPreemption("yololite", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := map[string]float64{}
+	for _, r := range res.Rows {
+		lat[r.Param] = r.Value
+	}
+	if lat["snpu-tile"] > lat["flush-tile"] {
+		t.Fatalf("sNPU preemption (%v) slower than flushing preemption (%v)", lat["snpu-tile"], lat["flush-tile"])
+	}
+	if lat["flush-tile"] > lat["flush-layer"] || lat["flush-layer"] > lat["flush-5layers"] {
+		t.Fatalf("coarser granularity should preempt slower: %v", lat)
+	}
+	// The coarse granularities must be meaningfully worse — that is
+	// the SLA argument.
+	if lat["flush-5layers"] < 2*lat["snpu-tile"]+1 {
+		t.Fatalf("5-layer preemption (%v) not clearly worse than sNPU (%v)", lat["flush-5layers"], lat["snpu-tile"])
+	}
+}
+
+func TestAblationMulticastWins(t *testing.T) {
+	res, err := AblationMulticast(npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, r := range res.Rows {
+		vals[r.Param] = r.Value
+	}
+	for _, lines := range []string{"16", "64", "256"} {
+		uni := vals["unicast lines="+lines]
+		multi := vals["multicast lines="+lines]
+		if uni == 0 || multi == 0 {
+			t.Fatalf("missing rows: %v", vals)
+		}
+		if multi >= uni {
+			t.Fatalf("lines=%s: multicast (%v) not cheaper than unicast (%v)", lines, multi, uni)
+		}
+	}
+}
+
+func TestAblationCheckingEnergyGuarderTiny(t *testing.T) {
+	res, err := AblationCheckingEnergy("yololite", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, r := range res.Rows {
+		vals[r.Param] = r.Value
+	}
+	iommu := vals["iotlb-32 checking-energy"]
+	guard := vals["guarder checking-energy"]
+	if iommu <= 0 || guard <= 0 {
+		t.Fatalf("missing energy rows: %v", vals)
+	}
+	// The paper's energy argument: Guarder checking energy is a small
+	// fraction of the IOMMU's.
+	if guard > iommu/20 {
+		t.Fatalf("guarder checking energy %v uJ not << iommu %v uJ", guard, iommu)
+	}
+	if ratio := vals["guarder-vs-iommu"]; ratio <= 0 || ratio > 5 {
+		t.Fatalf("ratio = %v%%", ratio)
+	}
+}
+
+func TestAblationBandwidthMonotone(t *testing.T) {
+	res, err := AblationBandwidth("alexnet", npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Value > res.Rows[i-1].Value {
+			t.Fatalf("runtime grew with more bandwidth: %+v -> %+v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+	// Quadrupling bandwidth from 4 to 16 must help a DMA-heavy model.
+	if res.Rows[2].Value > res.Rows[0].Value*0.95 {
+		t.Fatalf("bandwidth barely matters: %v vs %v", res.Rows[0].Value, res.Rows[2].Value)
+	}
+}

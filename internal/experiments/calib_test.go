@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/npu"
+	"repro/internal/workload"
+)
+
+// TestCalibrationPrint dumps the Fig. 13 tables for eyeballing model
+// calibration. Run with SNPU_CALIB=1 go test -run Calibration -v.
+func TestCalibrationPrint(t *testing.T) {
+	if os.Getenv("SNPU_CALIB") == "" {
+		t.Skip("set SNPU_CALIB=1 to print calibration tables")
+	}
+	res, err := Fig13(workload.All(), npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.TableA())
+	t.Log("\n" + res.TableB())
+}

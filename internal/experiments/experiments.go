@@ -1,0 +1,301 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§VI) on the simulated SoC. Each Fig/Table
+// function returns typed rows plus a formatted text table, so the
+// same code backs the bench harness (bench_test.go), the CLI
+// (cmd/snpu-bench), and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/guarder"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/tee"
+	"repro/internal/workload"
+	"repro/internal/xlate"
+)
+
+// Layout of the simulated SoC's physical memory.
+const (
+	NormalBase   = mem.PhysAddr(0x8000_0000)
+	NormalSize   = uint64(0x0800_0000) // 128 MB normal DRAM
+	ReservedBase = mem.PhysAddr(0x8800_0000)
+	ReservedSize = uint64(0x1800_0000) // 384 MB NPU-reserved (CMA)
+	SecureBase   = mem.PhysAddr(0xA000_0000)
+	SecureSize   = uint64(0x1000_0000) // 256 MB secure world
+)
+
+// SoC bundles one freshly booted simulated system.
+type SoC struct {
+	Phys    *mem.Physical
+	Machine *tee.Machine
+	Stats   *sim.Stats
+	NPU     *npu.NPU
+}
+
+// NewSoC boots a system with the given NPU config and per-core
+// translator factory (nil = identity/no protection).
+func NewSoC(cfg npu.Config, makeXlate func(core int) xlate.Translator) (*SoC, error) {
+	phys := mem.NewPhysical()
+	regions := []mem.Region{
+		{Name: "normal", Base: NormalBase, Size: NormalSize, Owner: mem.Normal, CrossPerm: mem.PermRW},
+		{Name: "npu-reserved", Base: ReservedBase, Size: ReservedSize, Owner: mem.Normal, CrossPerm: mem.PermRW},
+		{Name: "secure", Base: SecureBase, Size: SecureSize, Owner: mem.Secure},
+	}
+	for _, r := range regions {
+		if err := phys.AddRegion(r); err != nil {
+			return nil, err
+		}
+	}
+	machine := tee.NewMachine(phys)
+	blobs := [][]byte{[]byte("trusted-loader"), []byte("trusted-firmware"), []byte("teeos"), []byte("npu-monitor")}
+	names := []string{"trusted-loader", "trusted-firmware", "teeos", "npu-monitor"}
+	for i, b := range blobs {
+		machine.BootChain().AddStage(names[i], tee.MeasureBytes(b))
+	}
+	if err := machine.Boot(blobs); err != nil {
+		return nil, err
+	}
+	stats := sim.NewStats()
+	acc, err := npu.New(cfg, phys, stats, makeXlate)
+	if err != nil {
+		return nil, err
+	}
+	return &SoC{Phys: phys, Machine: machine, Stats: stats, NPU: acc}, nil
+}
+
+// Mechanism names one access-control configuration of Fig. 13.
+type Mechanism struct {
+	Name string
+	// IOTLBEntries > 0 selects an IOMMU; Guarder selects the NPU
+	// Guarder; neither selects the unprotected baseline.
+	IOTLBEntries int
+	Guarder      bool
+}
+
+// Fig13Mechanisms is the comparison set: baseline, IOTLB-4..32,
+// Guarder.
+func Fig13Mechanisms() []Mechanism {
+	return []Mechanism{
+		{Name: "none"},
+		{Name: "iotlb-4", IOTLBEntries: 4},
+		{Name: "iotlb-8", IOTLBEntries: 8},
+		{Name: "iotlb-16", IOTLBEntries: 16},
+		{Name: "iotlb-32", IOTLBEntries: 32},
+		{Name: "guarder", Guarder: true},
+	}
+}
+
+// RunSolo compiles a workload, installs the mechanism's mappings, and
+// runs it alone on core 0, returning the cycle count and the final
+// stats snapshot.
+func RunSolo(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycle, map[string]int64, error) {
+	soc, err := NewSoC(cfg, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	prog, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+	if err != nil {
+		return 0, nil, err
+	}
+	core, err := soc.NPU.Core(0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := installMechanism(soc, core, prog, mech); err != nil {
+		return 0, nil, err
+	}
+	ex := npu.NewExec(core, prog, 1)
+	end, err := ex.Run(0)
+	if err != nil {
+		return 0, nil, err
+	}
+	return end, soc.Stats.Snapshot(), nil
+}
+
+// CompanionLayout places a second task's VA window away from the
+// first so both can share one IO page table (distinct IOVA ranges, as
+// a real driver would allocate).
+var CompanionLayout = npu.Layout{WeightBase: 0x4000_0000}
+
+// RunContended reproduces the paper's multi-tasking environment: the
+// measured model runs on core 0 while a companion copy runs on core 1,
+// both behind the SAME access-control unit (the TrustZone-NPU design
+// shares one sMMU per NPU device, so the two request streams contend
+// for IOTLB capacity — the "ping-pong" the paper cites). The Guarder
+// is per-core register state, so it suffers no such interference.
+// Returns core 0's finish cycle and the stats snapshot.
+func RunContended(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycle, map[string]int64, error) {
+	soc, err := NewSoC(cfg, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	prog0, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+	if err != nil {
+		return 0, nil, err
+	}
+	prog1, _, err := npu.Compile(w, cfg, 0, CompanionLayout)
+	if err != nil {
+		return 0, nil, err
+	}
+	core0, err := soc.NPU.Core(0)
+	if err != nil {
+		return 0, nil, err
+	}
+	core1, err := soc.NPU.Core(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := installShared(soc, core0, core1, prog0, prog1, mech); err != nil {
+		return 0, nil, err
+	}
+
+	ex0 := npu.NewExec(core0, prog0, 1)
+	ex1 := npu.NewExec(core1, prog1, 2)
+	var now0, now1, end0 sim.Cycle
+	for !ex0.Done() || !ex1.Done() {
+		if !ex0.Done() && (ex1.Done() || now0 <= now1) {
+			end, err := ex0.RunUntil(now0, npu.BoundaryTile)
+			if err != nil {
+				return 0, nil, err
+			}
+			now0 = end
+			if ex0.Done() {
+				end0 = end
+			}
+			continue
+		}
+		end, err := ex1.RunUntil(now1, npu.BoundaryTile)
+		if err != nil {
+			return 0, nil, err
+		}
+		now1 = end
+	}
+	return end0, soc.Stats.Snapshot(), nil
+}
+
+// installShared wires the mechanism for the contended pair. For an
+// IOMMU, one unit serves both cores (stream-tagged entries, so no
+// flush between streams, but full capacity contention). For the
+// Guarder and the baseline, state is per core.
+func installShared(soc *SoC, core0, core1 *npu.Core, prog0, prog1 *npu.Program, mech Mechanism) error {
+	switch {
+	case mech.IOTLBEntries > 0:
+		ucfg := iommu.DefaultConfig(mech.IOTLBEntries)
+		// The shared sMMU tags entries with stream IDs, so the two
+		// cores' streams coexist (no flush) but contend for capacity.
+		ucfg.FlushOnContextSwitch = false
+		ucfg.TagWithASID = true
+		u := iommu.New(ucfg, soc.Stats)
+		for i, prog := range []*npu.Program{prog0, prog1} {
+			lo, hi := prog.VASpan()
+			vbase := mem.VirtAddr(mem.PageAlignDown(mem.PhysAddr(lo)))
+			size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PhysAddr(vbase))
+			pa := ReservedBase + mem.PhysAddr(uint64(i)*(ReservedSize/2))
+			if err := u.Table().MapRange(vbase, pa, size, mem.PermRW, false); err != nil {
+				return err
+			}
+		}
+		core0.DMA().SetTranslator(u)
+		core1.DMA().SetTranslator(u)
+		return nil
+	default:
+		if err := installMechanism(soc, core0, prog0, mech); err != nil {
+			return err
+		}
+		return installMechanism2(soc, core1, prog1, mech)
+	}
+}
+
+// installMechanism2 is installMechanism for the companion task's PA
+// window (second half of the reserved region).
+func installMechanism2(soc *SoC, core *npu.Core, prog *npu.Program, mech Mechanism) error {
+	lo, hi := prog.VASpan()
+	vbase := mem.VirtAddr(mem.PageAlignDown(mem.PhysAddr(lo)))
+	size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PhysAddr(vbase))
+	pa := ReservedBase + mem.PhysAddr(ReservedSize/2)
+	if mech.Guarder {
+		g := guarder.NewDefault(soc.Stats)
+		sec := soc.Machine.SecureContext()
+		if err := g.SetTransReg(sec, 0, guarder.TransReg{VBase: vbase, PBase: pa, Size: size, Valid: true}); err != nil {
+			return err
+		}
+		if err := g.SetCheckReg(sec, 0, guarder.CheckReg{Base: ReservedBase, Size: ReservedSize, Perm: mem.PermRW, World: mem.Normal, Valid: true}); err != nil {
+			return err
+		}
+		core.DMA().SetTranslator(g)
+		return nil
+	}
+	core.DMA().SetTranslator(xlate.NewIdentity(soc.Stats))
+	return nil
+}
+
+// installMechanism wires one access-control unit in front of core's
+// DMA engine and installs the program's mappings through the
+// appropriate path: the untrusted driver maps the IOMMU; the secure
+// context setter programs the Guarder.
+func installMechanism(soc *SoC, core *npu.Core, prog *npu.Program, mech Mechanism) error {
+	lo, hi := prog.VASpan()
+	vbase := mem.VirtAddr(mem.PageAlignDown(mem.PhysAddr(lo)))
+	size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PhysAddr(vbase))
+	switch {
+	case mech.Guarder:
+		g := guarder.NewDefault(soc.Stats)
+		sec := soc.Machine.SecureContext()
+		if err := g.SetTransReg(sec, 0, guarder.TransReg{VBase: vbase, PBase: ReservedBase, Size: size, Valid: true}); err != nil {
+			return err
+		}
+		if err := g.SetCheckReg(sec, 0, guarder.CheckReg{Base: ReservedBase, Size: ReservedSize, Perm: mem.PermRW, World: mem.Normal, Valid: true}); err != nil {
+			return err
+		}
+		core.DMA().SetTranslator(g)
+	case mech.IOTLBEntries > 0:
+		u := iommu.New(iommu.DefaultConfig(mech.IOTLBEntries), soc.Stats)
+		if err := u.Table().MapRange(vbase, ReservedBase, size, mem.PermRW, false); err != nil {
+			return err
+		}
+		core.DMA().SetTranslator(u)
+	default:
+		core.DMA().SetTranslator(xlate.NewIdentity(soc.Stats))
+	}
+	return nil
+}
+
+// Table renders rows of cells as a fixed-width text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

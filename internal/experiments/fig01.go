@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one bar of Fig. 1: the compute utilization a single
+// inference achieves on one NPU core.
+type Fig1Row struct {
+	Model  string
+	Cycles sim.Cycle
+	// Utilization is achieved MACs/cycle over peak MACs/cycle.
+	Utilization float64
+}
+
+// Fig1Result is the whole figure.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Fig1 measures per-model utilization of a solo inference — the
+// motivation figure: most workloads leave more than half the compute
+// idle, which is why multi-tasking (and hence multi-task isolation)
+// matters.
+func Fig1(models []workload.Workload, cfg npu.Config) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, w := range models {
+		cycles, _, err := RunSolo(w, Mechanism{Name: "none"}, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", w.Name, err)
+		}
+		prog, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig1Row{
+			Model:       w.Name,
+			Cycles:      cycles,
+			Utilization: npu.Utilization(prog, cycles, cfg.SystolicDim),
+		})
+	}
+	return res, nil
+}
+
+// TableString renders the figure.
+func (f *Fig1Result) TableString() string {
+	header := []string{"model", "cycles", "flops-utilization"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Model, fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%.1f%%", r.Utilization*100),
+		})
+	}
+	return Table(header, rows)
+}

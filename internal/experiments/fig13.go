@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig13Row is one (model, mechanism) cell of Fig. 13.
+type Fig13Row struct {
+	Model     string
+	Mechanism string
+	Cycles    sim.Cycle
+	// Normalized is throughput relative to the unprotected baseline
+	// (1.0 = no slowdown; the paper's Fig. 13(a) y-axis).
+	Normalized float64
+	// Requests is the translation/checking request count (the
+	// Fig. 13(b) energy proxy).
+	Requests int64
+	// RequestsVsIOMMU is Requests divided by the iotlb-32 count for
+	// the same model (Guarder rows only; 0 elsewhere).
+	RequestsVsIOMMU float64
+}
+
+// Fig13Result holds the whole figure.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13 runs every model under every access-control mechanism.
+func Fig13(models []workload.Workload, cfg npu.Config) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, w := range models {
+		baselineCycles := sim.Cycle(0)
+		iommuReqs := int64(0)
+		var modelRows []Fig13Row
+		for _, mech := range Fig13Mechanisms() {
+			cycles, stats, err := RunContended(w, mech, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", w.Name, mech.Name, err)
+			}
+			if mech.Name == "none" {
+				baselineCycles = cycles
+			}
+			reqs := stats[sim.CtrTranslations]
+			if mech.Name == "iotlb-32" {
+				iommuReqs = reqs
+			}
+			modelRows = append(modelRows, Fig13Row{
+				Model:     w.Name,
+				Mechanism: mech.Name,
+				Cycles:    cycles,
+				Requests:  reqs,
+			})
+		}
+		for i := range modelRows {
+			if baselineCycles > 0 {
+				modelRows[i].Normalized = float64(baselineCycles) / float64(modelRows[i].Cycles)
+			}
+			if modelRows[i].Mechanism == "guarder" && iommuReqs > 0 {
+				modelRows[i].RequestsVsIOMMU = float64(modelRows[i].Requests) / float64(iommuReqs)
+			}
+		}
+		res.Rows = append(res.Rows, modelRows...)
+	}
+	return res, nil
+}
+
+// Slowdown reports 1 - Normalized as a percentage for a row.
+func (r Fig13Row) Slowdown() float64 { return (1 - r.Normalized) * 100 }
+
+// TableA renders the Fig. 13(a) view (normalized performance).
+func (f *Fig13Result) TableA() string {
+	header := []string{"model", "mechanism", "cycles", "normalized", "slowdown%"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Model, r.Mechanism,
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.3f", r.Normalized),
+			fmt.Sprintf("%.1f", r.Slowdown()),
+		})
+	}
+	return Table(header, rows)
+}
+
+// TableB renders the Fig. 13(b) view (translation request counts).
+func (f *Fig13Result) TableB() string {
+	header := []string{"model", "mechanism", "xlate-requests", "vs-iommu"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		ratio := ""
+		if r.RequestsVsIOMMU > 0 {
+			ratio = fmt.Sprintf("%.1f%%", r.RequestsVsIOMMU*100)
+		}
+		rows = append(rows, []string{
+			r.Model, r.Mechanism, fmt.Sprintf("%d", r.Requests), ratio,
+		})
+	}
+	return Table(header, rows)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/workload"
+)
+
+// Fig14Row is one (model, granularity) cell: normalized execution time
+// of the measured task when two tasks time-share one core with
+// flushing at the given granularity.
+type Fig14Row struct {
+	Model       string
+	Granularity string
+	Cycles      sim.Cycle
+	// Normalized is runtime relative to ID-isolated sharing (no
+	// flush); >1 means the flushing mechanism is slower.
+	Normalized float64
+}
+
+// Fig14Result is the whole figure.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// fig14Grans is the comparison set: tile / layer / 5-layer flushing.
+var fig14Grans = []spad.FlushGranularity{
+	spad.FlushPerTile, spad.FlushPerLayer, spad.FlushPer5Layers,
+}
+
+// Fig14 time-shares each model with a companion copy on one core. For
+// each granularity it runs the schedule twice — with flushing (the
+// TrustZone-NPU strawman) and without (sNPU's ID-isolated sharing,
+// which needs no scrubbing at the same switching rate) — and reports
+// the flush mechanism's overhead.
+func Fig14(models []workload.Workload, cfg npu.Config) (*Fig14Result, error) {
+	res := &Fig14Result{}
+	run := func(w workload.Workload, gran spad.FlushGranularity, flush bool) (sim.Cycle, error) {
+		soc, err := NewSoC(cfg, nil)
+		if err != nil {
+			return 0, err
+		}
+		d := driver.New(cfg, ReservedBase, ReservedSize, soc.Stats)
+		t1, err := d.Submit(w, 0, true)
+		if err != nil {
+			return 0, err
+		}
+		t2, err := d.Submit(w, 0, false)
+		if err != nil {
+			return 0, err
+		}
+		core, err := soc.NPU.Core(0)
+		if err != nil {
+			return 0, err
+		}
+		r, err := d.RunTimeShared(core, []*driver.Task{t1, t2}, gran, flush)
+		if err != nil {
+			return 0, err
+		}
+		return r.Makespan(), nil
+	}
+	for _, w := range models {
+		for _, gran := range fig14Grans {
+			flushed, err := run(w, gran, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%s: %w", w.Name, gran, err)
+			}
+			clean, err := run(w, gran, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%s baseline: %w", w.Name, gran, err)
+			}
+			res.Rows = append(res.Rows, Fig14Row{
+				Model:       w.Name,
+				Granularity: gran.String(),
+				Cycles:      flushed,
+				Normalized:  float64(flushed) / float64(clean),
+			})
+		}
+	}
+	return res, nil
+}
+
+// TableString renders the figure.
+func (f *Fig14Result) TableString() string {
+	header := []string{"model", "flush-granularity", "cycles", "normalized", "overhead%"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Model, r.Granularity,
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.3f", r.Normalized),
+			fmt.Sprintf("%.1f", (r.Normalized-1)*100),
+		})
+	}
+	return Table(header, rows)
+}

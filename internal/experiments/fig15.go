@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig15Group pairs a trusted workload with an untrusted one, run in
+// parallel on two cores under a shared scratchpad capacity.
+type Fig15Group struct {
+	Trusted, Untrusted string
+}
+
+// Fig15Groups splits the six workloads into the paper's three pairs,
+// each combining a scratchpad-sensitive model (alexnet, bert, resnet)
+// with a less sensitive partner.
+func Fig15Groups() []Fig15Group {
+	return []Fig15Group{
+		{Trusted: "alexnet", Untrusted: "yololite"},
+		{Trusted: "bert", Untrusted: "mobilenet"},
+		{Trusted: "resnet", Untrusted: "googlenet"},
+	}
+}
+
+// Fig15Row is one (group, policy) result.
+type Fig15Row struct {
+	Group   string
+	Policy  string
+	Trusted struct {
+		Model      string
+		Cycles     sim.Cycle
+		Normalized float64 // vs its solo full-scratchpad run
+	}
+	Untrusted struct {
+		Model      string
+		Cycles     sim.Cycle
+		Normalized float64
+	}
+	FractionA float64
+}
+
+// Fig15Result is the whole figure.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 runs each pair under the three static partitions and under
+// sNPU's ID-based dynamic allocation, normalizing each workload to its
+// solo run with the full scratchpad.
+func Fig15(cfg npu.Config) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	solo := map[string]sim.Cycle{}
+	soloCycles := func(name string) (sim.Cycle, error) {
+		if c, ok := solo[name]; ok {
+			return c, nil
+		}
+		w, err := workload.ByName(name)
+		if err != nil {
+			return 0, err
+		}
+		c, _, err := RunSolo(w, Mechanism{Name: "none"}, cfg)
+		if err != nil {
+			return 0, err
+		}
+		solo[name] = c
+		return c, nil
+	}
+
+	policies := append(driver.StaticPartitions(), driver.DynamicPolicy())
+	for gi, grp := range Fig15Groups() {
+		wa, err := workload.ByName(grp.Trusted)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := workload.ByName(grp.Untrusted)
+		if err != nil {
+			return nil, err
+		}
+		soloA, err := soloCycles(grp.Trusted)
+		if err != nil {
+			return nil, err
+		}
+		soloB, err := soloCycles(grp.Untrusted)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			soc, err := NewSoC(cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			r, err := driver.RunSpatialPair(soc.NPU, wa, wb, pol, soloA, soloB)
+			if err != nil {
+				return nil, fmt.Errorf("fig15 %s+%s/%s: %w", grp.Trusted, grp.Untrusted, pol.Name, err)
+			}
+			row := Fig15Row{
+				Group:     fmt.Sprintf("group%d", gi+1),
+				Policy:    pol.Name,
+				FractionA: r.FractionA,
+			}
+			row.Trusted.Model = grp.Trusted
+			row.Trusted.Cycles = r.CyclesA
+			row.Trusted.Normalized = float64(r.CyclesA) / float64(soloA)
+			row.Untrusted.Model = grp.Untrusted
+			row.Untrusted.Cycles = r.CyclesB
+			row.Untrusted.Normalized = float64(r.CyclesB) / float64(soloB)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// TableString renders the figure.
+func (f *Fig15Result) TableString() string {
+	header := []string{"group", "policy", "spad-fracA", "trusted", "norm-time", "untrusted", "norm-time"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Group, r.Policy,
+			fmt.Sprintf("%.2f", r.FractionA),
+			r.Trusted.Model, fmt.Sprintf("%.3f", r.Trusted.Normalized),
+			r.Untrusted.Model, fmt.Sprintf("%.3f", r.Untrusted.Normalized),
+		})
+	}
+	return Table(header, rows)
+}

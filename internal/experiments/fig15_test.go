@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/npu"
+)
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-model pair runs")
+	}
+	res, err := Fig15(npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 groups x 4 policies.
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	worst := map[string]map[string]float64{}
+	for _, r := range res.Rows {
+		if worst[r.Group] == nil {
+			worst[r.Group] = map[string]float64{}
+		}
+		m := r.Trusted.Normalized
+		if r.Untrusted.Normalized > m {
+			m = r.Untrusted.Normalized
+		}
+		worst[r.Group][r.Policy] = m
+		// Sharing never beats running alone with the whole scratchpad.
+		if r.Trusted.Normalized < 0.999 || r.Untrusted.Normalized < 0.999 {
+			t.Errorf("%s/%s: shared run faster than solo (%v / %v)",
+				r.Group, r.Policy, r.Trusted.Normalized, r.Untrusted.Normalized)
+		}
+	}
+	// The dynamic policy never loses to any static split on its own
+	// objective, in every group.
+	for group, policies := range worst {
+		dyn := policies["snpu-dynamic"]
+		for name, m := range policies {
+			if name == "snpu-dynamic" {
+				continue
+			}
+			if dyn > m+1e-9 {
+				t.Errorf("%s: dynamic (%.3f) worse than %s (%.3f)", group, dyn, name, m)
+			}
+		}
+	}
+	if !strings.Contains(res.TableString(), "snpu-dynamic") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-model runs")
+	}
+	res, err := Table1(npu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		rows[r.Mechanism] = r
+	}
+	if len(rows) != 4 {
+		t.Fatalf("mechanisms = %d", len(rows))
+	}
+	// Only sNPU combines both sharing modes with high utilization.
+	s := rows["snpu"]
+	if !s.Temporal || !s.Spatial || s.Utilization != "high" || s.MeasuredOverheadPct != 0 {
+		t.Fatalf("snpu row: %+v", s)
+	}
+	// Fine flushing is expensive, coarse is cheap, partition loses
+	// something to dynamic.
+	if rows["flush-fine"].MeasuredOverheadPct < 20 {
+		t.Fatalf("fine flush overhead %v too low", rows["flush-fine"].MeasuredOverheadPct)
+	}
+	if rows["flush-coarse"].MeasuredOverheadPct > 5 {
+		t.Fatalf("coarse flush overhead %v too high", rows["flush-coarse"].MeasuredOverheadPct)
+	}
+	if rows["partition"].MeasuredOverheadPct < 0 {
+		t.Fatalf("partition overhead negative: %v", rows["partition"].MeasuredOverheadPct)
+	}
+	if !strings.Contains(res.TableString(), "snpu") {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig17Row is one (model, method) cell of the NoC application test: a
+// model run model-parallel over a 2x2 block of cores (output channels
+// split per layer, activation slices all-gathered after each layer),
+// with the exchange carried per method.
+type Fig17Row struct {
+	Model  string
+	Method string
+	Cycles sim.Cycle
+	// TransferCycles is the time spent in inter-core exchanges.
+	TransferCycles sim.Cycle
+	// Normalized is runtime relative to the unauthorized NoC (the
+	// paper's Fig. 17 baseline; 1.0 = same, >1 = slower).
+	Normalized float64
+}
+
+// Fig17Result is the whole figure.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// fig17ShmVA is the shared-memory bounce buffer the software NoC
+// routes activations through.
+const fig17ShmVA = 0x8100_0000
+
+// Fig17 runs each model over a 2x2 core block under three transfer
+// methods: the unauthorized direct NoC, the peephole NoC, and the
+// software NoC through shared memory.
+func Fig17(models []workload.Workload, cfg npu.Config) (*Fig17Result, error) {
+	res := &Fig17Result{}
+	for _, w := range models {
+		var baseline sim.Cycle
+		var rows []Fig17Row
+		for _, method := range []struct {
+			name     string
+			peephole bool
+			mode     npu.TransferMode
+		}{
+			{"unauthorized-noc", false, npu.TransferNoC},
+			{"peephole-noc", true, npu.TransferNoC},
+			{"software-noc", false, npu.TransferSharedMemory},
+		} {
+			mcfg := cfg
+			mcfg.Peephole = method.peephole
+			soc, err := NewSoC(mcfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			// A 2x2 block on the 5-wide mesh: cores 0,1 (row 0) and
+			// 5,6 (row 1).
+			coreIDs := []int{0, 1, 5, 6}
+			if method.peephole {
+				// Secure the block so its members authenticate mutually.
+				if err := soc.NPU.SetCoreDomains(soc.Machine.SecureContext(), coreIDs, 1); err != nil {
+					return nil, err
+				}
+			}
+			r, err := soc.NPU.RunModelParallel(w, coreIDs, method.mode, fig17ShmVA, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s/%s: %w", w.Name, method.name, err)
+			}
+			if method.name == "unauthorized-noc" {
+				baseline = r.TotalCycles
+			}
+			rows = append(rows, Fig17Row{
+				Model:          w.Name,
+				Method:         method.name,
+				Cycles:         r.TotalCycles,
+				TransferCycles: r.TransferCycles,
+			})
+		}
+		for i := range rows {
+			if baseline > 0 {
+				rows[i].Normalized = float64(rows[i].Cycles) / float64(baseline)
+			}
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// TableString renders the figure.
+func (f *Fig17Result) TableString() string {
+	header := []string{"model", "method", "cycles", "transfer-cycles", "normalized"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Model, r.Method,
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%d", r.TransferCycles),
+			fmt.Sprintf("%.3f", r.Normalized),
+		})
+	}
+	return Table(header, rows)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hwcost"
+)
+
+// Fig18Row is one configuration's additional FPGA resources over the
+// baseline NPU tile.
+type Fig18Row struct {
+	Config      string
+	ExtraLUTPct float64
+	ExtraFFPct  float64
+	ExtraRAMPct float64
+}
+
+// Fig18Result is the whole figure.
+type Fig18Result struct {
+	Rows []Fig18Row
+}
+
+// Fig18 evaluates the analytic hardware-cost model for the paper's
+// configurations: S_Reg, S_Spad, S_NoC (cumulative) and the TrustZone
+// NPU's IOMMU.
+func Fig18(p hwcost.Params) *Fig18Result {
+	base := hwcost.Baseline(p)
+	res := &Fig18Result{}
+	for _, c := range hwcost.Fig18Configs(p) {
+		lut, ff, ram := c.Extra.PercentOf(base)
+		res.Rows = append(res.Rows, Fig18Row{
+			Config: c.Name, ExtraLUTPct: lut, ExtraFFPct: ff, ExtraRAMPct: ram,
+		})
+	}
+	return res
+}
+
+// TableString renders the figure.
+func (f *Fig18Result) TableString() string {
+	header := []string{"config", "extra-LUT%", "extra-FF%", "extra-RAM%"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Config,
+			fmt.Sprintf("%.2f", r.ExtraLUTPct),
+			fmt.Sprintf("%.2f", r.ExtraFFPct),
+			fmt.Sprintf("%.2f", r.ExtraRAMPct),
+		})
+	}
+	return Table(header, rows)
+}

@@ -1,0 +1,165 @@
+// Package hwcost is the analytic FPGA-resource model behind Fig. 18:
+// it counts the storage bits, registers, and comparator logic each
+// protection mechanism adds to a baseline NPU tile and expresses them
+// as LUT/FF/BRAM estimates. The absolute numbers are first-order
+// (standard bit-per-resource rules of thumb); the claim under test is
+// relative — S_Spad costs about 1% extra RAM, S_Reg and S_NoC are
+// negligible, and an IOMMU with its walker and IOTLB CAM costs more
+// than all sNPU extensions combined.
+package hwcost
+
+import "fmt"
+
+// Resources is an FPGA utilization estimate.
+type Resources struct {
+	LUTs int64
+	FFs  int64
+	// RAMBits counts block-RAM storage bits.
+	RAMBits int64
+}
+
+// Add accumulates.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{LUTs: r.LUTs + o.LUTs, FFs: r.FFs + o.FFs, RAMBits: r.RAMBits + o.RAMBits}
+}
+
+// PercentOf expresses each resource class as a percentage of base.
+func (r Resources) PercentOf(base Resources) (lut, ff, ram float64) {
+	pct := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	return pct(r.LUTs, base.LUTs), pct(r.FFs, base.FFs), pct(r.RAMBits, base.RAMBits)
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d RAMbits=%d", r.LUTs, r.FFs, r.RAMBits)
+}
+
+// Params describes the NPU tile being costed.
+type Params struct {
+	SystolicDim  int // PEs per side
+	SpadBytes    int
+	SpadLineBits int // wordline payload width
+	AccBytes     int
+	AccLineBits  int
+	IDBits       int // per-line tag width (sNPU)
+	TransRegs    int // Guarder translation registers
+	CheckRegs    int // Guarder checking registers
+	IOTLBEntries int // TrustZone-NPU IOTLB size
+	AddrBits     int // physical address width
+	MeshLinkBits int // NoC flit width
+}
+
+// DefaultParams matches the evaluation SoC (Table II).
+func DefaultParams() Params {
+	return Params{
+		SystolicDim:  16,
+		SpadBytes:    256 << 10,
+		SpadLineBits: 128,
+		AccBytes:     64 << 10,
+		AccLineBits:  512,
+		IDBits:       1,
+		TransRegs:    16,
+		CheckRegs:    4,
+		IOTLBEntries: 32,
+		AddrBits:     40,
+		MeshLinkBits: 128,
+	}
+}
+
+// Rules of thumb for mapping logic onto a 6-input-LUT FPGA fabric:
+// a W-bit comparator needs about W/3 LUTs; a W-bit register is W FFs;
+// small distributed storage (register files, CAMs) costs both.
+const lutsPerCompareBit = 3
+
+func comparatorLUTs(bits int) int64 { return int64((bits + lutsPerCompareBit - 1) / lutsPerCompareBit) }
+
+// Baseline estimates the unprotected NPU tile: the systolic array
+// (each PE: an 8x8 multiplier ~ 60 LUTs, 3 32-bit registers), the
+// scratchpad and accumulator BRAM, and control.
+func Baseline(p Params) Resources {
+	pes := int64(p.SystolicDim) * int64(p.SystolicDim)
+	// Control (instruction queues, ROB, DMA engine, decoupling FIFOs)
+	// dominates a real Gemmini tile's fabric cost alongside the PEs.
+	r := Resources{
+		LUTs:    pes*60 + 30000,
+		FFs:     pes*96 + 40000,
+		RAMBits: int64(p.SpadBytes)*8 + int64(p.AccBytes)*8,
+	}
+	return r
+}
+
+// SReg estimates the Guarder's translation/checking register file: per
+// register two AddrBits bounds plus a base, the range comparators, and
+// the adder for base+offset relocation.
+func SReg(p Params) Resources {
+	regs := int64(p.TransRegs + p.CheckRegs)
+	bitsPerReg := int64(3*p.AddrBits + 4) // base, limit, target, perm/valid
+	return Resources{
+		LUTs:    regs * (2*comparatorLUTs(p.AddrBits) + int64(p.AddrBits)/2),
+		FFs:     regs * bitsPerReg,
+		RAMBits: 0,
+	}
+}
+
+// SSpad estimates ID-based scratchpad isolation: IDBits extra storage
+// per wordline plus the match logic at the read port.
+func SSpad(p Params) Resources {
+	spadLines := int64(p.SpadBytes) * 8 / int64(p.SpadLineBits)
+	accLines := int64(p.AccBytes) * 8 / int64(p.AccLineBits)
+	return Resources{
+		LUTs:    64, // per-port ID compare + retag mux
+		FFs:     16,
+		RAMBits: (spadLines + accLines) * int64(p.IDBits),
+	}
+}
+
+// SNoC estimates the peephole router extension: the send/receive
+// engine FSM states, the identity field per channel, and the lock
+// register.
+func SNoC(p Params) Resources {
+	return Resources{
+		LUTs:    180,                        // two small FSMs + ID compare on the head flit
+		FFs:     int64(p.IDBits) + 2*8 + 64, // id, two 8-state FSMs, lock/peer regs
+		RAMBits: 0,
+	}
+}
+
+// IOMMU estimates the TrustZone-NPU alternative: a fully-associative
+// IOTLB (CAM match on the VPN, data side holding the PTE), a
+// three-level page-table walker FSM with its registers, and the
+// fault/flush plumbing.
+func IOMMU(p Params) Resources {
+	vpnBits := p.AddrBits - 12
+	entryBits := int64(vpnBits + p.AddrBits - 12 + 4) // tag + ppn + perm/s-bits
+	e := int64(p.IOTLBEntries)
+	return Resources{
+		// CAM compare per entry per lookup, plus walker datapath.
+		LUTs:    e*comparatorLUTs(vpnBits)*4 + 2500,
+		FFs:     e*entryBits + 1200,
+		RAMBits: 4096 * 8, // walk cache
+	}
+}
+
+// Config is one Fig. 18 column.
+type Config struct {
+	Name  string
+	Extra Resources
+}
+
+// Fig18Configs returns the paper's comparison set over the baseline.
+func Fig18Configs(p Params) []Config {
+	sreg := SReg(p)
+	sspad := SSpad(p)
+	snoc := SNoC(p)
+	return []Config{
+		{Name: "baseline", Extra: Resources{}},
+		{Name: "s_reg", Extra: sreg},
+		{Name: "s_spad", Extra: sreg.Add(sspad)},
+		{Name: "s_noc", Extra: sreg.Add(sspad).Add(snoc)},
+		{Name: "trustzone_iommu", Extra: IOMMU(p)},
+	}
+}

@@ -1,0 +1,83 @@
+package hwcost
+
+import "testing"
+
+func TestSSpadRAMOverheadAboutOnePercent(t *testing.T) {
+	p := DefaultParams()
+	base := Baseline(p)
+	_, _, ramPct := SSpad(p).PercentOf(base)
+	// The paper's headline: ~1% extra RAM for the ID bits. With 1 bit
+	// per 128-bit line it is slightly under 1%; allow [0.3, 1.5].
+	if ramPct < 0.3 || ramPct > 1.5 {
+		t.Fatalf("S_Spad RAM overhead = %.2f%%, want ~1%%", ramPct)
+	}
+}
+
+func TestSRegAndSNoCNegligible(t *testing.T) {
+	p := DefaultParams()
+	base := Baseline(p)
+	for name, r := range map[string]Resources{"s_reg": SReg(p), "s_noc": SNoC(p)} {
+		lut, ff, ram := r.PercentOf(base)
+		if lut > 5 || ff > 5 || ram > 0.1 {
+			t.Fatalf("%s overhead too large: lut=%.2f%% ff=%.2f%% ram=%.2f%%", name, lut, ff, ram)
+		}
+	}
+}
+
+func TestIOMMUCostsMoreThanAllSNPUExtensions(t *testing.T) {
+	p := DefaultParams()
+	snpu := SReg(p).Add(SSpad(p)).Add(SNoC(p))
+	tz := IOMMU(p)
+	if tz.LUTs <= snpu.LUTs {
+		t.Fatalf("IOMMU LUTs (%d) not above sNPU total (%d)", tz.LUTs, snpu.LUTs)
+	}
+	if tz.FFs <= snpu.FFs-snpu.RAMBits/64 && tz.FFs <= snpu.FFs {
+		t.Fatalf("IOMMU FFs (%d) not above sNPU register cost (%d)", tz.FFs, snpu.FFs)
+	}
+}
+
+func TestIDBitsScaleSSpad(t *testing.T) {
+	p := DefaultParams()
+	one := SSpad(p)
+	p.IDBits = 4
+	four := SSpad(p)
+	if four.RAMBits != 4*one.RAMBits {
+		t.Fatalf("ID-bit scaling: %d vs %d", four.RAMBits, one.RAMBits)
+	}
+}
+
+func TestFig18ConfigsMonotone(t *testing.T) {
+	p := DefaultParams()
+	cfgs := Fig18Configs(p)
+	if len(cfgs) != 5 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	// Cumulative sNPU configs grow monotonically.
+	for i := 1; i < 4; i++ {
+		prev, cur := cfgs[i-1].Extra, cfgs[i].Extra
+		if cur.LUTs < prev.LUTs || cur.FFs < prev.FFs || cur.RAMBits < prev.RAMBits {
+			t.Fatalf("config %s shrank vs %s", cfgs[i].Name, cfgs[i-1].Name)
+		}
+	}
+	if cfgs[0].Name != "baseline" || cfgs[4].Name != "trustzone_iommu" {
+		t.Fatal("config ordering")
+	}
+}
+
+func TestPercentOfZeroBase(t *testing.T) {
+	lut, ff, ram := (Resources{LUTs: 10}).PercentOf(Resources{})
+	if lut != 0 || ff != 0 || ram != 0 {
+		t.Fatal("division by zero base not guarded")
+	}
+}
+
+func TestResourcesAddAndString(t *testing.T) {
+	a := Resources{LUTs: 1, FFs: 2, RAMBits: 3}
+	b := a.Add(a)
+	if b.LUTs != 2 || b.FFs != 4 || b.RAMBits != 6 {
+		t.Fatal("Add")
+	}
+	if a.String() == "" {
+		t.Fatal("String")
+	}
+}

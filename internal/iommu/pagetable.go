@@ -1,0 +1,133 @@
+// Package iommu models the "TrustZone NPU" baseline access controller:
+// a three-level IO page table held in DRAM, an IOTLB with a
+// configurable number of entries and LRU replacement, a hardware page
+// walker whose memory accesses stall the DMA pipeline, and the
+// TrustZone extension (an S/NS bit per PTE) that industry sMMUs use to
+// mark the NPU's secure mappings.
+//
+// The performance pathologies the paper measures against — IOTLB
+// misses, page-walk stalls, and flush-induced ping-pong on task
+// switches — all come out of this model.
+package iommu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// levels and bits of the Sv39-like IO page table: 9 bits per level over
+// 4KB pages.
+const (
+	ptLevels    = 3
+	ptIndexBits = 9
+	ptEntries   = 1 << ptIndexBits
+)
+
+// PTE is one IO page-table entry.
+type PTE struct {
+	PPN    uint64 // physical page number
+	Perm   mem.Perm
+	Secure bool // TrustZone NS/S bit: set for secure-world mappings
+	Valid  bool
+}
+
+// PageTable is a software-walked three-level IO page table. Real
+// walkers read PTEs from DRAM; we keep the structure in Go maps and
+// charge the walk cost in cycles, which is what the timing model
+// needs. MappedPages and Walks are exposed for tests and for the
+// hardware-cost model.
+type PageTable struct {
+	root  *ptNode
+	pages int
+}
+
+type ptNode struct {
+	children [ptEntries]*ptNode // interior levels
+	ptes     [ptEntries]PTE     // leaf level only
+	leaf     bool
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{root: &ptNode{}}
+}
+
+func vpnIndex(va mem.VirtAddr, level int) int {
+	// level 0 is the root; shift decreases toward the leaf.
+	shift := 12 + ptIndexBits*(ptLevels-1-level)
+	return int(uint64(va)>>shift) & (ptEntries - 1)
+}
+
+// Map installs a 4KB mapping va -> pa. Both addresses must be
+// page-aligned.
+func (t *PageTable) Map(va mem.VirtAddr, pa mem.PhysAddr, perm mem.Perm, secure bool) error {
+	if uint64(va)%mem.PageSize != 0 || uint64(pa)%mem.PageSize != 0 {
+		return fmt.Errorf("iommu: unaligned mapping %#x -> %#x", uint64(va), uint64(pa))
+	}
+	n := t.root
+	for level := 0; level < ptLevels-1; level++ {
+		idx := vpnIndex(va, level)
+		if n.children[idx] == nil {
+			n.children[idx] = &ptNode{leaf: level == ptLevels-2}
+		}
+		n = n.children[idx]
+	}
+	idx := vpnIndex(va, ptLevels-1)
+	if !n.ptes[idx].Valid {
+		t.pages++
+	}
+	n.ptes[idx] = PTE{PPN: uint64(pa) / mem.PageSize, Perm: perm, Secure: secure, Valid: true}
+	return nil
+}
+
+// MapRange maps size bytes of contiguous VA onto contiguous PA.
+func (t *PageTable) MapRange(va mem.VirtAddr, pa mem.PhysAddr, size uint64, perm mem.Perm, secure bool) error {
+	end := mem.PageAlignUp(mem.PhysAddr(uint64(va) + size))
+	for cur := mem.PhysAddr(mem.PageAlignDown(mem.PhysAddr(va))); cur < end; cur += mem.PageSize {
+		off := uint64(cur) - uint64(mem.PageAlignDown(mem.PhysAddr(va)))
+		if err := t.Map(mem.VirtAddr(cur), mem.PageAlignDown(pa)+mem.PhysAddr(off), perm, secure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes a 4KB mapping if present.
+func (t *PageTable) Unmap(va mem.VirtAddr) {
+	n := t.root
+	for level := 0; level < ptLevels-1; level++ {
+		n = n.children[vpnIndex(va, level)]
+		if n == nil {
+			return
+		}
+	}
+	idx := vpnIndex(va, ptLevels-1)
+	if n.ptes[idx].Valid {
+		t.pages--
+		n.ptes[idx] = PTE{}
+	}
+}
+
+// Walk resolves va to its PTE, reporting how many memory accesses the
+// hardware walker performed (one per level it had to traverse).
+func (t *PageTable) Walk(va mem.VirtAddr) (PTE, int, error) {
+	n := t.root
+	accesses := 0
+	for level := 0; level < ptLevels-1; level++ {
+		accesses++
+		n = n.children[vpnIndex(va, level)]
+		if n == nil {
+			return PTE{}, accesses, fmt.Errorf("iommu: fault at level %d for va %#x", level, uint64(va))
+		}
+	}
+	accesses++
+	pte := n.ptes[vpnIndex(va, ptLevels-1)]
+	if !pte.Valid {
+		return PTE{}, accesses, fmt.Errorf("iommu: fault (invalid leaf) for va %#x", uint64(va))
+	}
+	return pte, accesses, nil
+}
+
+// MappedPages reports how many 4KB pages are mapped.
+func (t *PageTable) MappedPages() int { return t.pages }

@@ -1,0 +1,391 @@
+package monitor
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/guarder"
+	"repro/internal/isolator"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/tee"
+)
+
+// Errors the monitor returns to the untrusted side. They carry no
+// secret-dependent detail beyond the failing check.
+var (
+	ErrNotBooted       = errors.New("monitor: machine has not completed secure boot")
+	ErrBadMeasurement  = errors.New("monitor: code measurement mismatch")
+	ErrUnknownTask     = errors.New("monitor: unknown secure task")
+	ErrQueueEmpty      = errors.New("monitor: secure task queue empty")
+	ErrBadFunc         = errors.New("monitor: unknown trampoline function")
+	ErrChunkNotSecure  = errors.New("monitor: task chunk outside secure memory")
+	ErrOverlappingSpad = errors.New("monitor: scratchpad ranges overlap")
+)
+
+// SecureTask is one verified task waiting in (or loaded from) the
+// secure task queue.
+type SecureTask struct {
+	ID      int
+	Program *npu.Program
+	// Model is the decrypted model blob, held only in secure memory.
+	model []byte
+	// Chunk is the task's buffer in secure memory.
+	Chunk     mem.PhysAddr
+	ChunkSize uint64
+	// Topology is the expected NoC arrangement for multi-core tasks.
+	Topology isolator.Topology
+	// Cores are the verified cores the task was loaded onto.
+	Cores []int
+	// SpadLines is the scratchpad range reserved per core.
+	SpadLines [2]int
+	Loaded    bool
+}
+
+// Monitor is the trusted software module. Construction requires the
+// secure context, so only boot-path code can create one.
+type Monitor struct {
+	ctx      tee.Context
+	machine  *tee.Machine
+	acc      *npu.NPU
+	guarders map[int]*guarder.Guarder
+	// trusted allocator over the secure memory region
+	alloc *mem.ContigAlloc
+	// provisioned sealing keys by key ID (attested-channel stand-in)
+	keys map[string][]byte
+	// secure task queue
+	queue  []*SecureTask
+	tasks  map[int]*SecureTask
+	nextID int
+	stats  *sim.Stats
+}
+
+// New builds the monitor. It refuses to run on a machine that has not
+// completed secure boot (the boot chain loads and verifies the monitor
+// itself before anything untrusted runs).
+func New(machine *tee.Machine, acc *npu.NPU, guarders map[int]*guarder.Guarder, secureBase mem.PhysAddr, secureSize uint64, stats *sim.Stats) (*Monitor, error) {
+	if !machine.Secured() {
+		return nil, ErrNotBooted
+	}
+	return &Monitor{
+		ctx:      machine.SecureContext(),
+		machine:  machine,
+		acc:      acc,
+		guarders: guarders,
+		alloc:    mem.NewContigAlloc(secureBase, secureSize),
+		keys:     make(map[string][]byte),
+		tasks:    make(map[int]*SecureTask),
+		nextID:   1,
+		stats:    stats,
+	}, nil
+}
+
+// ProvisionKey installs a model-sealing key. In a deployment this
+// arrives over an attested channel rooted in the secure-boot report;
+// here the model owner calls it directly against the monitor.
+func (m *Monitor) ProvisionKey(keyID string, key []byte) error {
+	if len(key) != KeySize {
+		return fmt.Errorf("monitor: key %q must be %d bytes", keyID, KeySize)
+	}
+	k := make([]byte, KeySize)
+	copy(k, key)
+	m.keys[keyID] = k
+	return nil
+}
+
+// TaskSpec is what the untrusted driver submits through the
+// trampoline: the compiled program, the owner's expected measurement,
+// the sealed model, and the expected NoC topology.
+type TaskSpec struct {
+	Program     *npu.Program
+	Expected    [sha256.Size]byte
+	KeyID       string
+	SealedModel []byte
+	Topology    isolator.Topology
+	// SpadLinesNeeded reserves scratchpad lines per core for the task
+	// (the trusted allocator checks for overlap between secure tasks).
+	SpadLinesNeeded int
+}
+
+// Submit is the code-verifier + trusted-allocator path: decrypt the
+// model, measure the program against the owner's expectation, allocate
+// the task's secure-memory chunk, and enqueue it.
+func (m *Monitor) Submit(spec TaskSpec) (int, error) {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	if spec.Program == nil {
+		return 0, m.reject(fmt.Errorf("monitor: nil program"))
+	}
+	// Code verifier: statically validate the op stream's structure,
+	// then measure it against the owner's expectation.
+	if err := spec.Program.Validate(); err != nil {
+		return 0, m.reject(fmt.Errorf("monitor: program rejected: %w", err))
+	}
+	if got := spec.Program.Measurement(); got != spec.Expected {
+		return 0, m.reject(ErrBadMeasurement)
+	}
+	var model []byte
+	if len(spec.SealedModel) > 0 {
+		key, ok := m.keys[spec.KeyID]
+		if !ok {
+			return 0, m.reject(fmt.Errorf("monitor: no key %q provisioned", spec.KeyID))
+		}
+		var err error
+		model, err = OpenModel(key, spec.SealedModel)
+		if err != nil {
+			return 0, m.reject(err)
+		}
+	}
+	// Trusted allocator: the task's working buffers live in secure
+	// memory, never in the driver-controlled reserved heap.
+	lo, hi := spec.Program.VASpan()
+	size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PageAlignDown(mem.PhysAddr(lo)))
+	chunk, err := m.alloc.Alloc(size, mem.PageSize)
+	if err != nil {
+		return 0, m.reject(err)
+	}
+	task := &SecureTask{
+		ID:        m.nextID,
+		Program:   spec.Program,
+		model:     model,
+		Chunk:     chunk,
+		ChunkSize: size,
+		Topology:  spec.Topology,
+	}
+	m.nextID++
+	m.queue = append(m.queue, task)
+	m.tasks[task.ID] = task
+	return task.ID, nil
+}
+
+// Load is the secure-loader + context-setter path: verify the route
+// integrity of the scheduled cores, check scratchpad reservations for
+// overlap, flip the cores' ID states, and program each core's Guarder
+// with the task's translation window and checking authority.
+func (m *Monitor) Load(taskID int, cores []int, spadFrom, spadTo int) error {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	task, ok := m.tasks[taskID]
+	if !ok {
+		return m.reject(ErrUnknownTask)
+	}
+	// Secure loader: route integrity.
+	coords := make([]noc.Coord, 0, len(cores))
+	for _, ci := range cores {
+		core, err := m.acc.Core(ci)
+		if err != nil {
+			return m.reject(err)
+		}
+		coords = append(coords, core.Coord())
+	}
+	topo := task.Topology
+	if topo.Cores() == 0 {
+		topo = isolator.Topology{W: 1, H: 1}
+	}
+	if err := isolator.VerifyRoute(topo, coords); err != nil {
+		return m.reject(err)
+	}
+	// Trusted allocator: no scratchpad overlap among loaded secure
+	// tasks sharing a core.
+	if spadTo <= spadFrom || spadFrom < 0 {
+		return m.reject(fmt.Errorf("monitor: bad scratchpad range [%d,%d)", spadFrom, spadTo))
+	}
+	for _, other := range m.tasks {
+		if !other.Loaded || other.ID == taskID {
+			continue
+		}
+		if sharesCore(other.Cores, cores) && spadFrom < other.SpadLines[1] && other.SpadLines[0] < spadTo {
+			return m.reject(ErrOverlappingSpad)
+		}
+	}
+	// Context setter: core ID states + Guarder registers.
+	for _, ci := range cores {
+		core, err := m.acc.Core(ci)
+		if err != nil {
+			return m.reject(err)
+		}
+		if err := core.SetDomain(m.ctx, spad.SecureDomain); err != nil {
+			return m.reject(err)
+		}
+		if g, ok := m.guarders[ci]; ok {
+			lo, hi := task.Program.VASpan()
+			vbase := mem.VirtAddr(mem.PageAlignDown(mem.PhysAddr(lo)))
+			if err := g.SetTransReg(m.ctx, 0, guarder.TransReg{
+				VBase: vbase, PBase: task.Chunk,
+				Size: uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PhysAddr(vbase)), Valid: true,
+			}); err != nil {
+				return m.reject(err)
+			}
+			if err := g.SetCheckReg(m.ctx, 1, guarder.CheckReg{
+				Base: task.Chunk, Size: task.ChunkSize,
+				Perm: mem.PermRW, World: mem.Secure, Valid: true,
+			}); err != nil {
+				return m.reject(err)
+			}
+		}
+	}
+	task.Cores = append([]int(nil), cores...)
+	task.SpadLines = [2]int{spadFrom, spadTo}
+	task.Loaded = true
+	// Remove from the pending queue.
+	for i, q := range m.queue {
+		if q.ID == taskID {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Unload releases a task: reset the cores to non-secure, scrub the
+// secure scratchpad lines, free the chunk.
+func (m *Monitor) Unload(taskID int) error {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	task, ok := m.tasks[taskID]
+	if !ok {
+		return m.reject(ErrUnknownTask)
+	}
+	if task.Loaded {
+		for _, ci := range task.Cores {
+			core, err := m.acc.Core(ci)
+			if err != nil {
+				return m.reject(err)
+			}
+			if err := core.Scratchpad().ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], core.Scratchpad().Lines())); err != nil {
+				return m.reject(err)
+			}
+			if err := core.SetDomain(m.ctx, spad.NonSecure); err != nil {
+				return m.reject(err)
+			}
+			if g, ok := m.guarders[ci]; ok {
+				if err := g.ClearTask(m.ctx); err != nil {
+					return m.reject(err)
+				}
+			}
+		}
+	}
+	if err := m.alloc.Free(task.Chunk); err != nil {
+		return m.reject(err)
+	}
+	delete(m.tasks, taskID)
+	for i, q := range m.queue {
+		if q.ID == taskID {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetupPlatform installs the boot-time platform policy into every
+// core's Guarder checking registers: the normal world may read/write
+// the NPU-reserved region, the secure world additionally the secure
+// region. Checking registers are rarely modified afterwards (§IV-A).
+func (m *Monitor) SetupPlatform(reservedBase mem.PhysAddr, reservedSize uint64, secureBase mem.PhysAddr, secureSize uint64) error {
+	for _, g := range m.guarders {
+		if err := g.SetCheckReg(m.ctx, 0, guarder.CheckReg{
+			Base: reservedBase, Size: reservedSize, Perm: mem.PermRW, World: mem.Normal, Valid: true,
+		}); err != nil {
+			return err
+		}
+		if err := g.SetCheckReg(m.ctx, 2, guarder.CheckReg{
+			Base: reservedBase, Size: reservedSize, Perm: mem.PermRW, World: mem.Secure, Valid: true,
+		}); err != nil {
+			return err
+		}
+		if err := g.SetCheckReg(m.ctx, 3, guarder.CheckReg{
+			Base: secureBase, Size: secureSize, Perm: mem.PermRW, World: mem.Secure, Valid: true,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapNonSecure programs a translation window for a NON-secure task on
+// behalf of the untrusted driver (translation registers are secure
+// state, so the driver cannot write them itself). The monitor applies
+// no software checks beyond refusing windows that reach into
+// secure-owned memory — for non-secure tasks the hardware checking
+// registers carry the isolation (§IV-C: "for non-secure tasks, we do
+// not apply any software checks and rely only on the hardware
+// mechanisms").
+func (m *Monitor) MapNonSecure(core int, slot int, vbase mem.VirtAddr, pbase mem.PhysAddr, size uint64) error {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	g, ok := m.guarders[core]
+	if !ok {
+		return m.reject(fmt.Errorf("monitor: core %d has no guarder", core))
+	}
+	if r, found := m.machine.Phys().FindRegion(pbase); found && r.Owner == mem.Secure {
+		return m.reject(fmt.Errorf("monitor: non-secure window targets secure region %q", r.Name))
+	}
+	return g.SetTransReg(m.ctx, slot, guarder.TransReg{VBase: vbase, PBase: pbase, Size: size, Valid: true})
+}
+
+// Task returns a loaded/queued task by ID.
+func (m *Monitor) Task(taskID int) (*SecureTask, error) {
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return nil, ErrUnknownTask
+	}
+	return t, nil
+}
+
+// QueueLen reports pending (submitted, unloaded) secure tasks.
+func (m *Monitor) QueueLen() int { return len(m.queue) }
+
+// NextQueued peeks the oldest pending task ID.
+func (m *Monitor) NextQueued() (int, error) {
+	if len(m.queue) == 0 {
+		return 0, ErrQueueEmpty
+	}
+	return m.queue[0].ID, nil
+}
+
+// ModelBytes exposes the decrypted model of a task. It demands the
+// secure context: untrusted code cannot pull plaintext models out.
+func (m *Monitor) ModelBytes(ctx tee.Context, taskID int) ([]byte, error) {
+	if err := ctx.RequireSecure(); err != nil {
+		return nil, err
+	}
+	t, ok := m.tasks[taskID]
+	if !ok {
+		return nil, ErrUnknownTask
+	}
+	return t.model, nil
+}
+
+func (m *Monitor) reject(err error) error {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorRejected)
+	}
+	return err
+}
+
+func sharesCore(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

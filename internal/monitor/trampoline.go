@@ -1,0 +1,134 @@
+package monitor
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/isolator"
+	"repro/internal/mem"
+	"repro/internal/npu"
+	"repro/internal/taskimage"
+)
+
+// The trampoline is the narrow interface between the non-secure NPU
+// driver and the NPU Monitor (§V): a function ID, arguments, and a
+// shared-memory payload. The driver marshals a call; the monitor-side
+// dispatcher validates and executes it. Keeping the boundary to plain
+// data (no callbacks, no pointers into normal-world structures beyond
+// the payload) is what keeps the TCB small.
+
+// FuncID selects the monitor entry point.
+type FuncID uint32
+
+const (
+	// FnSubmit submits a secure task spec for verification.
+	FnSubmit FuncID = iota + 1
+	// FnLoad loads a verified task onto cores.
+	FnLoad
+	// FnUnload tears a task down.
+	FnUnload
+	// FnQueueLen queries the secure queue depth.
+	FnQueueLen
+	// FnMapNonSecure programs a translation window for a non-secure
+	// task (args: core, slot, vbase, pbase, size).
+	FnMapNonSecure
+	// FnSubmitImage submits a serialized task image (Shared carries
+	// the raw taskimage bytes; the monitor decodes them defensively).
+	FnSubmitImage
+)
+
+func (f FuncID) String() string {
+	switch f {
+	case FnSubmit:
+		return "submit"
+	case FnLoad:
+		return "load"
+	case FnUnload:
+		return "unload"
+	case FnQueueLen:
+		return "queue-len"
+	case FnMapNonSecure:
+		return "map-nonsecure"
+	case FnSubmitImage:
+		return "submit-image"
+	default:
+		return fmt.Sprintf("func(%d)", uint32(f))
+	}
+}
+
+// Call is one trampoline invocation. Args carries small scalars;
+// Shared carries the bulk payload (sealed model bytes); Spec carries
+// the program being submitted (in hardware this sits in the shared
+// buffer too — we keep it typed for clarity).
+type Call struct {
+	Func   FuncID
+	Args   []uint64
+	Shared []byte
+	// Submit-only fields.
+	Program  *npu.Program
+	Expected [sha256.Size]byte
+	KeyID    string
+	Topology isolator.Topology
+}
+
+// Reply is the monitor's answer.
+type Reply struct {
+	Value uint64
+	Err   error
+}
+
+// Dispatch executes one trampoline call against the monitor. It is
+// the single untrusted entry point.
+func (m *Monitor) Dispatch(c Call) Reply {
+	switch c.Func {
+	case FnSubmit:
+		id, err := m.Submit(TaskSpec{
+			Program:     c.Program,
+			Expected:    c.Expected,
+			KeyID:       c.KeyID,
+			SealedModel: c.Shared,
+			Topology:    c.Topology,
+		})
+		return Reply{Value: uint64(id), Err: err}
+	case FnLoad:
+		if len(c.Args) < 3 {
+			return Reply{Err: fmt.Errorf("monitor: load needs taskID, spadFrom, spadTo")}
+		}
+		taskID := int(c.Args[0])
+		spadFrom := int(c.Args[1])
+		spadTo := int(c.Args[2])
+		cores := make([]int, 0, len(c.Args)-3)
+		for _, a := range c.Args[3:] {
+			cores = append(cores, int(a))
+		}
+		return Reply{Err: m.Load(taskID, cores, spadFrom, spadTo)}
+	case FnUnload:
+		if len(c.Args) < 1 {
+			return Reply{Err: fmt.Errorf("monitor: unload needs taskID")}
+		}
+		return Reply{Err: m.Unload(int(c.Args[0]))}
+	case FnQueueLen:
+		return Reply{Value: uint64(m.QueueLen())}
+	case FnMapNonSecure:
+		if len(c.Args) < 5 {
+			return Reply{Err: fmt.Errorf("monitor: map-nonsecure needs core, slot, vbase, pbase, size")}
+		}
+		return Reply{Err: m.MapNonSecure(int(c.Args[0]), int(c.Args[1]),
+			mem.VirtAddr(c.Args[2]), mem.PhysAddr(c.Args[3]), c.Args[4])}
+	case FnSubmitImage:
+		img, err := taskimage.Decode(c.Shared)
+		if err != nil {
+			return Reply{Err: m.reject(fmt.Errorf("monitor: task image rejected: %w", err))}
+		}
+		id, err := m.Submit(TaskSpec{
+			Program:     img.Program,
+			Expected:    img.Expected,
+			KeyID:       img.KeyID,
+			SealedModel: img.SealedModel,
+			Topology:    img.Topology,
+		})
+		return Reply{Value: uint64(id), Err: err}
+	default:
+		return Reply{Err: ErrBadFunc}
+	}
+}

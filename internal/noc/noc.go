@@ -1,0 +1,282 @@
+// Package noc models the multi-core NPU's network-on-chip: a 2D mesh
+// with XY dimension-order routing, wormhole switching with per-link
+// contention, and the paper's peephole authentication extension
+// (§IV-B, §V, Fig. 8/12).
+//
+// Packets carry a head flit (route + identity), body flits (payload),
+// and a tail flit. The peephole mechanism authenticates the head
+// flit's identity (the source core's ID state) at the destination's
+// receive engine: a packet from a secure core is rejected by a
+// non-secure destination and vice versa. Authentication rides the
+// head flit — zero extra cycles — and a passing authentication locks
+// the router channel to the (src,dst) pair until the tail flit.
+package noc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spad"
+)
+
+// Coord addresses a node in the mesh.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Hops returns the XY-routing hop count between two nodes.
+func (c Coord) Hops(to Coord) int {
+	dx := to.X - c.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := to.Y - c.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// FlitBytes is the payload of one flit — one scratchpad wordline
+// (128 bits) in the Gemmini-style configuration.
+const FlitBytes = 16
+
+// ErrAuthFailed is returned when the peephole check rejects a packet.
+var ErrAuthFailed = errors.New("noc: peephole authentication failed")
+
+// ErrChannelLocked is returned when a locked receive channel is
+// addressed by a different source.
+var ErrChannelLocked = errors.New("noc: receive channel locked to another source")
+
+// Packet is one NoC transfer: header identity plus payload flits.
+type Packet struct {
+	Src, Dst Coord
+	// SrcID is the sending core's ID state, stamped into the head flit
+	// by the send engine (the peephole identity).
+	SrcID spad.DomainID
+	// Flits is the number of body flits (scratchpad lines).
+	Flits int
+	// Payload optionally carries functional data (len <=
+	// Flits*FlitBytes); timing-only traffic leaves it nil.
+	Payload []byte
+}
+
+// Config describes the mesh.
+type Config struct {
+	Width, Height int
+	// RouterDelay is the per-hop head-flit latency in cycles.
+	RouterDelay sim.Cycle
+	// LinkBytesPerCycle is the per-link bandwidth; one flit per cycle
+	// at 16B flits by default.
+	LinkBytesPerCycle int
+	// Peephole enables authentication; false models the unauthorized
+	// baseline NoC.
+	Peephole bool
+}
+
+// DefaultConfig returns the evaluation mesh configuration.
+func DefaultConfig(w, h int, peephole bool) Config {
+	return Config{Width: w, Height: h, RouterDelay: 1, LinkBytesPerCycle: FlitBytes, Peephole: peephole}
+}
+
+// linkKey identifies a directed link between adjacent nodes.
+type linkKey struct {
+	from, to Coord
+}
+
+// Mesh is the NoC fabric. Node ID states live with the attached NPU
+// cores; the mesh queries them through the IDSource callback so the
+// router sees the *current* core state at authentication time.
+type Mesh struct {
+	cfg   Config
+	links map[linkKey]*sim.Resource
+	stats *sim.Stats
+	// IDSource reports the current ID state of the core at a node.
+	// The multi-core NPU wires this to its cores; tests may stub it.
+	IDSource func(Coord) spad.DomainID
+	// locks[dst] is the source a receive channel is locked to, if any.
+	locks map[Coord]*Coord
+	// Delivered packets per destination, for functional receivers.
+	inboxes map[Coord][]Packet
+}
+
+// NewMesh builds the fabric with all links idle.
+func NewMesh(cfg Config, stats *sim.Stats) (*Mesh, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.LinkBytesPerCycle <= 0 {
+		cfg.LinkBytesPerCycle = FlitBytes
+	}
+	m := &Mesh{
+		cfg:      cfg,
+		links:    make(map[linkKey]*sim.Resource),
+		stats:    stats,
+		IDSource: func(Coord) spad.DomainID { return spad.NonSecure },
+		locks:    make(map[Coord]*Coord),
+		inboxes:  make(map[Coord][]Packet),
+	}
+	for x := 0; x < cfg.Width; x++ {
+		for y := 0; y < cfg.Height; y++ {
+			c := Coord{x, y}
+			for _, n := range m.neighbors(c) {
+				m.links[linkKey{c, n}] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n))
+			}
+		}
+	}
+	return m, nil
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+func (m *Mesh) neighbors(c Coord) []Coord {
+	var out []Coord
+	if c.X > 0 {
+		out = append(out, Coord{c.X - 1, c.Y})
+	}
+	if c.X < m.cfg.Width-1 {
+		out = append(out, Coord{c.X + 1, c.Y})
+	}
+	if c.Y > 0 {
+		out = append(out, Coord{c.X, c.Y - 1})
+	}
+	if c.Y < m.cfg.Height-1 {
+		out = append(out, Coord{c.X, c.Y + 1})
+	}
+	return out
+}
+
+// InMesh reports whether c is a valid node.
+func (m *Mesh) InMesh(c Coord) bool {
+	return c.X >= 0 && c.X < m.cfg.Width && c.Y >= 0 && c.Y < m.cfg.Height
+}
+
+// Route computes the XY dimension-order path from src to dst,
+// inclusive of both endpoints.
+func (m *Mesh) Route(src, dst Coord) ([]Coord, error) {
+	if !m.InMesh(src) || !m.InMesh(dst) {
+		return nil, fmt.Errorf("noc: route %v->%v leaves the %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height)
+	}
+	path := []Coord{src}
+	cur := src
+	for cur.X != dst.X {
+		if cur.X < dst.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		path = append(path, cur)
+	}
+	for cur.Y != dst.Y {
+		if cur.Y < dst.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// Send transmits a packet starting no earlier than cycle `at`,
+// returning the cycle at which the tail flit arrives at the
+// destination. It performs peephole authentication (if enabled) at the
+// destination's receive engine before the body streams.
+//
+// Timing: the head flit traverses hop-by-hop paying RouterDelay per
+// hop; body flits stream behind it wormhole-style, so the serialized
+// cost is hops*RouterDelay + flits cycles on the bottleneck link.
+// Authentication adds zero cycles — it is decided from the head flit
+// the receive engine already has.
+func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
+	path, err := m.Route(pkt.Src, pkt.Dst)
+	if err != nil {
+		return 0, err
+	}
+	if pkt.Flits <= 0 {
+		return 0, fmt.Errorf("noc: packet with %d flits", pkt.Flits)
+	}
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrNoCPackets)
+	}
+
+	// Channel lock: once a transfer is authenticated, the receive
+	// channel rejects other sources until the tail flit (modeled as
+	// until the transfer completes; Send is atomic in virtual time).
+	if lockSrc, locked := m.locks[pkt.Dst]; locked && *lockSrc != pkt.Src {
+		return 0, fmt.Errorf("%w: dst %v locked to %v", ErrChannelLocked, pkt.Dst, *lockSrc)
+	}
+
+	// Peephole authentication at the destination's receive engine.
+	if m.cfg.Peephole {
+		dstID := m.IDSource(pkt.Dst)
+		if dstID != pkt.SrcID {
+			if m.stats != nil {
+				m.stats.Inc(sim.CtrNoCAuthFail)
+			}
+			return 0, fmt.Errorf("%w: src %v id=%d, dst %v id=%d",
+				ErrAuthFailed, pkt.Src, pkt.SrcID, pkt.Dst, dstID)
+		}
+		if m.stats != nil {
+			m.stats.Inc(sim.CtrNoCAuthPass)
+		}
+	}
+
+	hops := len(path) - 1
+	flitCycles := sim.Cycle(pkt.Flits) * sim.Cycle(FlitBytes/m.cfg.LinkBytesPerCycle)
+	if flitCycles < sim.Cycle(pkt.Flits) {
+		flitCycles = sim.Cycle(pkt.Flits)
+	}
+	// Claim every link on the path for the body duration; the transfer
+	// is paced by the most contended link.
+	start := at
+	for i := 0; i+1 < len(path); i++ {
+		link := m.links[linkKey{path[i], path[i+1]}]
+		s := link.Claim(start, flitCycles)
+		if s > start {
+			start = s
+		}
+	}
+	done := start + sim.Cycle(hops)*m.cfg.RouterDelay + flitCycles
+	if m.stats != nil {
+		m.stats.Add(sim.CtrNoCFlits, int64(pkt.Flits))
+	}
+	if pkt.Payload != nil {
+		m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
+	}
+	return done, nil
+}
+
+// LockChannel pins dst's receive channel to src (set after a
+// successful authentication when a stream of packets follows).
+func (m *Mesh) LockChannel(dst, src Coord) {
+	s := src
+	m.locks[dst] = &s
+}
+
+// UnlockChannel releases dst's receive channel (tail flit processed).
+func (m *Mesh) UnlockChannel(dst Coord) {
+	delete(m.locks, dst)
+}
+
+// Receive drains the functional inbox for a node.
+func (m *Mesh) Receive(dst Coord) []Packet {
+	pkts := m.inboxes[dst]
+	m.inboxes[dst] = nil
+	return pkts
+}
+
+// LinkUtilization reports the busiest link's utilization over horizon.
+func (m *Mesh) LinkUtilization(horizon sim.Cycle) float64 {
+	var max float64
+	for _, l := range m.links {
+		if u := l.Utilization(horizon); u > max {
+			max = u
+		}
+	}
+	return max
+}

@@ -1,0 +1,149 @@
+package npu
+
+import (
+	"fmt"
+
+	"repro/internal/dma"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/tee"
+	"repro/internal/xlate"
+)
+
+// pipeline is the core's execution-unit occupancy state: when the DMA
+// load queue, the systolic array, and the store (write) buffer next
+// free up. It is core state, not task state — time-shared tasks queue
+// behind each other's in-flight work on the same units, which is
+// exactly why ID-based isolation (share without draining) beats
+// flushing (drain and scrub on every switch).
+type pipeline struct {
+	dmaFree     sim.Cycle
+	computeFree sim.Cycle
+	storeFree   sim.Cycle
+	// prevComputeEnd gates load run-ahead to one tile (double buffer).
+	prevComputeEnd [2]sim.Cycle
+}
+
+func (p *pipeline) clampTo(at sim.Cycle) {
+	if p.dmaFree < at {
+		p.dmaFree = at
+	}
+	if p.computeFree < at {
+		p.computeFree = at
+	}
+	if p.storeFree < at {
+		p.storeFree = at
+	}
+	if p.prevComputeEnd[0] < at {
+		p.prevComputeEnd[0] = at
+	}
+	if p.prevComputeEnd[1] < at {
+		p.prevComputeEnd[1] = at
+	}
+}
+
+// Core is one accelerator tile: a systolic array, its scratchpads, a
+// DMA engine behind an access-control unit, a NoC router controller,
+// and the sNPU ID state that tags everything the core touches.
+type Core struct {
+	id     int
+	coord  noc.Coord
+	cfg    Config
+	domain spad.DomainID
+	sp     *spad.Scratchpad
+	acc    *spad.Scratchpad
+	dmaEng *dma.Engine
+	router *noc.RouterController
+	stats  *sim.Stats
+	pipe   pipeline
+}
+
+// ResetPipeline returns the core's execution units to idle (the start
+// of an independent measurement run).
+func (c *Core) ResetPipeline() { c.pipe = pipeline{} }
+
+// NewCore assembles one tile. The DMA engine shares the SoC's DRAM
+// channel resource with every other core; the translator is swappable
+// per experiment (none / IOMMU / Guarder).
+func NewCore(id int, coord noc.Coord, cfg Config, channel *sim.Resource, phys *mem.Physical, xl xlate.Translator, mesh *noc.Mesh, stats *sim.Stats) (*Core, error) {
+	sp, err := spad.New(spad.Config{
+		Lines:     cfg.SpadLines(),
+		LineBytes: cfg.SpadLineBytes,
+		Kind:      spad.Exclusive,
+		IDBits:    cfg.IDBits,
+		Isolated:  cfg.Isolated,
+	}, stats)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := spad.New(spad.Config{
+		Lines:     cfg.SpadBytes / 4 / cfg.AccLineBytes,
+		LineBytes: cfg.AccLineBytes,
+		Kind:      spad.Shared,
+		IDBits:    cfg.IDBits,
+		Isolated:  cfg.Isolated,
+	}, stats)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		id:     id,
+		coord:  coord,
+		cfg:    cfg,
+		sp:     sp,
+		acc:    acc,
+		dmaEng: dma.New(cfg.DMAConfig(), xl, channel, phys, stats),
+		stats:  stats,
+	}
+	if mesh != nil {
+		c.router = noc.NewRouterController(coord, mesh)
+	}
+	return c, nil
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Coord returns the core's NoC coordinate.
+func (c *Core) Coord() noc.Coord { return c.coord }
+
+// Domain returns the core's current ID state.
+func (c *Core) Domain() spad.DomainID { return c.domain }
+
+// SetDomain is the secure instruction that flips a core between
+// domains (§IV-B: "Setting the ID state of the NPU core can only be
+// done through a secure instruction").
+func (c *Core) SetDomain(ctx tee.Context, d spad.DomainID) error {
+	if err := ctx.RequireSecure(); err != nil {
+		return err
+	}
+	if c.cfg.IDBits < 8 && d >= 1<<c.cfg.IDBits {
+		return fmt.Errorf("npu: domain %d exceeds %d-bit core ID state", d, c.cfg.IDBits)
+	}
+	c.domain = d
+	return nil
+}
+
+// Scratchpad exposes the core-local (exclusive) scratchpad.
+func (c *Core) Scratchpad() *spad.Scratchpad { return c.sp }
+
+// Accumulator exposes the shared accumulator scratchpad.
+func (c *Core) Accumulator() *spad.Scratchpad { return c.acc }
+
+// DMA exposes the core's DMA engine.
+func (c *Core) DMA() *dma.Engine { return c.dmaEng }
+
+// Router exposes the core's NoC router controller (nil when the core
+// is not attached to a mesh).
+func (c *Core) Router() *noc.RouterController { return c.router }
+
+// World maps the core's domain onto the hardware world its DMA
+// requests are issued in.
+func (c *Core) World() mem.World {
+	if c.domain == spad.NonSecure {
+		return mem.Normal
+	}
+	return mem.Secure
+}

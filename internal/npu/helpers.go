@@ -1,0 +1,22 @@
+package npu
+
+import (
+	"repro/internal/dma"
+	"repro/internal/mem"
+)
+
+// storeLoad builds the DMA request list for one side of a
+// shared-memory (software NoC) transfer.
+func storeLoad(va mem.VirtAddr, bytes uint64, store bool, core *Core) []dma.Request {
+	dir := dma.ToScratchpad
+	if store {
+		dir = dma.ToMemory
+	}
+	return []dma.Request{{
+		VA:     va,
+		Bytes:  bytes,
+		Dir:    dir,
+		World:  core.World(),
+		TaskID: 1000 + core.id,
+	}}
+}

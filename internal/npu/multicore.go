@@ -1,0 +1,253 @@
+package npu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/tee"
+	"repro/internal/xlate"
+)
+
+// NPU is the full accelerator: all cores, the NoC mesh connecting
+// them, and the shared DRAM channel. Translators are per-core and
+// swappable so experiments can compare access-control mechanisms.
+type NPU struct {
+	cfg     Config
+	cores   []*Core
+	mesh    *noc.Mesh
+	channel *sim.Resource
+	phys    *mem.Physical
+	stats   *sim.Stats
+	l2      *cache.L2 // non-nil when cfg.UseL2
+}
+
+// New assembles the NPU. Each core gets its own instance from
+// makeXlate (an IOMMU or Guarder is per-NPU-core hardware).
+func New(cfg Config, phys *mem.Physical, stats *sim.Stats, makeXlate func(core int) xlate.Translator) (*NPU, error) {
+	if cfg.Tiles <= 0 {
+		return nil, fmt.Errorf("npu: no tiles configured")
+	}
+	if cfg.MeshW*cfg.MeshH < cfg.Tiles {
+		return nil, fmt.Errorf("npu: %dx%d mesh cannot host %d tiles", cfg.MeshW, cfg.MeshH, cfg.Tiles)
+	}
+	mesh, err := noc.NewMesh(noc.DefaultConfig(cfg.MeshW, cfg.MeshH, cfg.Peephole), stats)
+	if err != nil {
+		return nil, err
+	}
+	n := &NPU{
+		cfg:     cfg,
+		mesh:    mesh,
+		channel: sim.NewResource("dram-channel"),
+		phys:    phys,
+		stats:   stats,
+	}
+	if cfg.UseL2 {
+		l2, err := cache.New(cache.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		n.l2 = l2
+	}
+	for i := 0; i < cfg.Tiles; i++ {
+		coord := noc.Coord{X: i % cfg.MeshW, Y: i / cfg.MeshW}
+		var xl xlate.Translator
+		if makeXlate != nil {
+			xl = makeXlate(i)
+		} else {
+			xl = xlate.NewIdentity(stats)
+		}
+		core, err := NewCore(i, coord, cfg, n.channel, phys, xl, mesh, stats)
+		if err != nil {
+			return nil, err
+		}
+		if n.l2 != nil {
+			core.DMA().AttachL2(n.l2)
+		}
+		n.cores = append(n.cores, core)
+	}
+	// The mesh authenticates against the cores' live ID states.
+	mesh.IDSource = func(c noc.Coord) spad.DomainID {
+		for _, core := range n.cores {
+			if core.coord == c {
+				return core.domain
+			}
+		}
+		return spad.NonSecure
+	}
+	return n, nil
+}
+
+// Config returns the NPU configuration.
+func (n *NPU) Config() Config { return n.cfg }
+
+// Cores returns the core list.
+func (n *NPU) Cores() []*Core { return n.cores }
+
+// Core returns core i.
+func (n *NPU) Core(i int) (*Core, error) {
+	if i < 0 || i >= len(n.cores) {
+		return nil, fmt.Errorf("npu: core %d out of range (%d cores)", i, len(n.cores))
+	}
+	return n.cores[i], nil
+}
+
+// Mesh returns the NoC fabric.
+func (n *NPU) Mesh() *noc.Mesh { return n.mesh }
+
+// Channel returns the shared DRAM channel resource.
+func (n *NPU) Channel() *sim.Resource { return n.channel }
+
+// ResetTiming returns all timing resources to idle — the shared DRAM
+// channel and every core's pipeline — so independent experiment runs
+// on one NPU instance do not contend with history.
+func (n *NPU) ResetTiming() {
+	n.channel.Reset()
+	for _, c := range n.cores {
+		c.ResetPipeline()
+	}
+	if n.l2 != nil {
+		n.l2.Reset()
+	}
+}
+
+// L2 returns the shared cache (nil unless Config.UseL2).
+func (n *NPU) L2() *cache.L2 { return n.l2 }
+
+// SetCoreDomains programs a set of cores into a domain via the secure
+// instruction path.
+func (n *NPU) SetCoreDomains(ctx tee.Context, cores []int, d spad.DomainID) error {
+	for _, i := range cores {
+		c, err := n.Core(i)
+		if err != nil {
+			return err
+		}
+		if err := c.SetDomain(ctx, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TransferMode selects how pipelined stages exchange activations
+// (Fig. 16/17).
+type TransferMode uint8
+
+const (
+	// TransferNoC moves activations core-to-core over the mesh.
+	TransferNoC TransferMode = iota
+	// TransferSharedMemory is the "software NoC": store to a shared
+	// DRAM buffer, reload on the consumer core.
+	TransferSharedMemory
+)
+
+func (m TransferMode) String() string {
+	if m == TransferNoC {
+		return "noc"
+	}
+	return "shared-memory"
+}
+
+// Stage is one segment of a pipeline mapping: a program slice bound to
+// a core.
+type Stage struct {
+	Core    int
+	Program *Program
+	// ActOutBytes is the activation volume handed to the next stage.
+	ActOutBytes uint64
+}
+
+// PipelineResult reports one pipelined run.
+type PipelineResult struct {
+	TotalCycles    sim.Cycle
+	TransferCycles sim.Cycle
+	Batches        int
+}
+
+// RunPipeline streams `batches` inferences through the staged cores,
+// moving inter-stage activations per mode. Stage s of batch b starts
+// when (a) stage s finished batch b-1 and (b) stage s-1's batch-b
+// output arrived. This is the Fig. 17 experiment harness.
+func (n *NPU) RunPipeline(stages []Stage, batches int, mode TransferMode, shmVA mem.VirtAddr) (PipelineResult, error) {
+	if len(stages) == 0 || batches <= 0 {
+		return PipelineResult{}, fmt.Errorf("npu: empty pipeline")
+	}
+	coreFree := make([]sim.Cycle, len(stages))
+	var res PipelineResult
+	var prevStageDone []sim.Cycle = make([]sim.Cycle, len(stages))
+
+	for b := 0; b < batches; b++ {
+		var upstreamReady sim.Cycle
+		for s, st := range stages {
+			core, err := n.Core(st.Core)
+			if err != nil {
+				return PipelineResult{}, err
+			}
+			start := coreFree[s]
+			if upstreamReady > start {
+				start = upstreamReady
+			}
+			ex := NewExec(core, st.Program, 1000+st.Core)
+			done, err := ex.Run(start)
+			if err != nil {
+				return PipelineResult{}, err
+			}
+			// Hand activations to the next stage.
+			if s+1 < len(stages) && st.ActOutBytes > 0 {
+				next, err := n.Core(stages[s+1].Core)
+				if err != nil {
+					return PipelineResult{}, err
+				}
+				tDone, tCycles, err := n.transfer(core, next, st.ActOutBytes, mode, shmVA, done)
+				if err != nil {
+					return PipelineResult{}, err
+				}
+				res.TransferCycles += tCycles
+				upstreamReady = tDone
+			} else {
+				upstreamReady = done
+			}
+			coreFree[s] = done
+			prevStageDone[s] = done
+		}
+	}
+	for _, d := range prevStageDone {
+		if d > res.TotalCycles {
+			res.TotalCycles = d
+		}
+	}
+	res.Batches = batches
+	return res, nil
+}
+
+// transfer moves bytes from src to dst starting at `at`, returning the
+// arrival cycle and the transfer's own duration.
+func (n *NPU) transfer(src, dst *Core, bytes uint64, mode TransferMode, shmVA mem.VirtAddr, at sim.Cycle) (sim.Cycle, sim.Cycle, error) {
+	switch mode {
+	case TransferNoC:
+		flits := int((bytes + noc.FlitBytes - 1) / noc.FlitBytes)
+		done, err := src.router.Transfer(dst.coord, flits, nil, at)
+		if err != nil {
+			return 0, 0, err
+		}
+		return done, done - at, nil
+	case TransferSharedMemory:
+		// Producer stores to the shared DRAM buffer, consumer reloads:
+		// two DRAM round trips through the (permission-restricted)
+		// shared region, both on the contended channel.
+		storeDone, err := src.dmaEng.DoPipelined(storeLoad(shmVA, bytes, true, src), nil, src.domain, at)
+		if err != nil {
+			return 0, 0, err
+		}
+		loadDone, err := dst.dmaEng.DoPipelined(storeLoad(shmVA, bytes, false, dst), nil, dst.domain, storeDone)
+		if err != nil {
+			return 0, 0, err
+		}
+		return loadDone, loadDone - at, nil
+	default:
+		return 0, 0, fmt.Errorf("npu: unknown transfer mode %d", mode)
+	}
+}

@@ -1,0 +1,140 @@
+package npu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/quant"
+)
+
+// A quantized multi-layer perceptron executed functionally on one
+// core: each layer is an int8 GEMM through the scratchpad (with ID
+// isolation live on every byte), an integer requantization back to
+// int8, and an integer ReLU. This is the path a real integer-only NPU
+// stack runs, end to end, with checkable numerics.
+
+// DenseLayer is one fully-connected layer of a quantized network.
+type DenseLayer struct {
+	// Weights is Out x In in row-major int8.
+	Weights Matrix
+	// InParams/WParams/OutParams are the affine quantizations of the
+	// layer's input, weights, and output activations.
+	InParams, WParams, OutParams quant.Params
+	// ReLU applies the integer activation after requantization.
+	ReLU bool
+}
+
+// Network is a stack of dense layers.
+type Network struct {
+	Layers []DenseLayer
+}
+
+// Validate checks layer shape chaining.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("npu: empty network")
+	}
+	for i, l := range n.Layers {
+		if !l.Weights.Valid() || l.Weights.Rows <= 0 {
+			return fmt.Errorf("npu: layer %d has invalid weights", i)
+		}
+		if i > 0 && n.Layers[i-1].Weights.Rows != l.Weights.Cols {
+			return fmt.Errorf("npu: layer %d input dim %d != layer %d output dim %d",
+				i, l.Weights.Cols, i-1, n.Layers[i-1].Weights.Rows)
+		}
+	}
+	return nil
+}
+
+// Infer runs one quantized input vector (int8, length = layer 0's In)
+// through the network on the core, returning the final int8
+// activations. Operand staging uses the VA window starting at baseVA
+// (which must be translated/authorized for the core).
+func (n *Network) Infer(core *Core, input []int8, baseVA mem.VirtAddr) ([]int8, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(input) != n.Layers[0].Weights.Cols {
+		return nil, fmt.Errorf("npu: input length %d != %d", len(input), n.Layers[0].Weights.Cols)
+	}
+	act := append([]int8(nil), input...)
+	for li, l := range n.Layers {
+		// GEMM: (1 x In) * (In x Out). Weights are stored Out x In, so
+		// present B as the transpose by swapping the multiplication
+		// order: acc[o] = sum_i act[i] * W[o][i].
+		a := Matrix{Rows: 1, Cols: len(act), Data: act}
+		bt := transpose(l.Weights)
+		accs, err := core.FunctionalGEMM(a, bt, baseVA, baseVA+0x4000)
+		if err != nil {
+			return nil, fmt.Errorf("npu: layer %d: %w", li, err)
+		}
+		// Fold the zero-point corrections: the GEMM computed raw
+		// q_a * q_w sums; affine quantization needs
+		// sum (q_a - za)(q_w - zw) = raw - za*sum(q_w) - zw*sum(q_a) + In*za*zw.
+		za := l.InParams.ZeroPoint
+		zw := l.WParams.ZeroPoint
+		in := int32(l.Weights.Cols)
+		var sumA int32
+		for _, v := range act {
+			sumA += int32(v)
+		}
+		corrected := make([]int32, len(accs))
+		for o := range accs {
+			var sumW int32
+			for i := 0; i < l.Weights.Cols; i++ {
+				sumW += int32(l.Weights.At(o, i))
+			}
+			corrected[o] = accs[o] - za*sumW - zw*sumA + in*za*zw
+		}
+		// Requantize into the output domain.
+		mult := l.InParams.Scale * l.WParams.Scale / l.OutParams.Scale
+		rq, err := quant.NewRequant(mult, l.OutParams.ZeroPoint)
+		if err != nil {
+			return nil, fmt.Errorf("npu: layer %d requant: %w", li, err)
+		}
+		act = rq.ApplySlice(corrected)
+		if l.ReLU {
+			act = quant.ReLUInt8(act, l.OutParams.ZeroPoint)
+		}
+	}
+	return act, nil
+}
+
+// InferFloat is the floating-point reference the quantized pipeline is
+// validated against in tests: dequantize, real matmul, ReLU.
+func (n *Network) InferFloat(input []int8) ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	act := n.Layers[0].InParams.DequantizeSlice(input)
+	for li, l := range n.Layers {
+		out := make([]float64, l.Weights.Rows)
+		for o := 0; o < l.Weights.Rows; o++ {
+			var acc float64
+			for i := 0; i < l.Weights.Cols; i++ {
+				acc += act[i] * l.WParams.Dequantize(l.Weights.At(o, i))
+			}
+			out[o] = acc
+		}
+		if l.ReLU {
+			for i := range out {
+				if out[i] < 0 {
+					out[i] = 0
+				}
+			}
+		}
+		act = out
+		_ = li
+	}
+	return act, nil
+}
+
+func transpose(m Matrix) Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}

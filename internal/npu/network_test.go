@@ -1,0 +1,114 @@
+package npu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+// buildTestNet constructs a small quantized 2-layer MLP with weights
+// drawn from rng and quantization parameters derived from the actual
+// value ranges.
+func buildTestNet(t *testing.T, rng *rand.Rand, in, hidden, out int) *Network {
+	t.Helper()
+	mk := func(rows, cols int) (Matrix, quant.Params) {
+		w := NewMatrix(rows, cols)
+		vals := make([]float64, rows*cols)
+		for i := range vals {
+			vals[i] = (rng.Float64() - 0.5) * 0.5
+		}
+		p, err := quant.ChooseFor(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			w.Data[i] = p.Quantize(v)
+		}
+		return w, p
+	}
+	w1, p1 := mk(hidden, in)
+	w2, p2 := mk(out, hidden)
+	inParams, err := quant.Choose(-1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidParams, err := quant.Choose(0, 4) // post-ReLU activations
+	if err != nil {
+		t.Fatal(err)
+	}
+	outParams, err := quant.Choose(-8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Network{Layers: []DenseLayer{
+		{Weights: w1, InParams: inParams, WParams: p1, OutParams: hidParams, ReLU: true},
+		{Weights: w2, InParams: hidParams, WParams: p2, OutParams: outParams},
+	}}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	if err := (&Network{}).Validate(); err == nil {
+		t.Fatal("empty network validated")
+	}
+	bad := &Network{Layers: []DenseLayer{
+		{Weights: NewMatrix(4, 8)},
+		{Weights: NewMatrix(3, 5)}, // 5 != 4
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched chaining validated")
+	}
+}
+
+func TestQuantizedInferenceTracksFloatReference(t *testing.T) {
+	n := testNPU(t, DefaultConfig(), nil)
+	core, _ := n.Core(0)
+	rng := rand.New(rand.NewSource(11))
+	net := buildTestNet(t, rng, 16, 24, 8)
+
+	inParams := net.Layers[0].InParams
+	input := make([]int8, 16)
+	for i := range input {
+		input[i] = inParams.Quantize((rng.Float64() - 0.5) * 2)
+	}
+	gotQ, err := net.Infer(core, input, 0x8000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, err := net.InferFloat(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outParams := net.Layers[len(net.Layers)-1].OutParams
+	for i := range wantF {
+		got := outParams.Dequantize(gotQ[i])
+		// Quantization noise accumulates across two layers; a few
+		// output steps of tolerance is the expected regime.
+		if math.Abs(got-wantF[i]) > 6*outParams.Scale {
+			t.Fatalf("output %d: quantized %v vs float %v (scale %v)",
+				i, got, wantF[i], outParams.Scale)
+		}
+	}
+}
+
+func TestNetworkInputLengthChecked(t *testing.T) {
+	n := testNPU(t, DefaultConfig(), nil)
+	core, _ := n.Core(0)
+	rng := rand.New(rand.NewSource(1))
+	net := buildTestNet(t, rng, 8, 8, 4)
+	if _, err := net.Infer(core, make([]int8, 5), 0x8000_0000); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Matrix{Rows: 2, Cols: 3, Data: []int8{1, 2, 3, 4, 5, 6}}
+	tr := transpose(m)
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(0, 0) != 1 || tr.At(0, 1) != 4 || tr.At(2, 1) != 6 {
+		t.Fatalf("transpose = %v", tr.Data)
+	}
+}

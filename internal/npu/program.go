@@ -1,0 +1,328 @@
+package npu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OpKind enumerates the NPU's op-level ISA. The compiler lowers each
+// GEMM tile iteration into mvin (load), matmul (compute), and mvout
+// (store) ops; multi-core mappings add NoC send/receive ops.
+type OpKind uint8
+
+const (
+	// OpLoad moves data DRAM -> scratchpad (mvin).
+	OpLoad OpKind = iota
+	// OpStore moves data scratchpad -> DRAM (mvout).
+	OpStore
+	// OpCompute runs the systolic array for Cycles.
+	OpCompute
+	// OpSend transfers Flits scratchpad lines to core Peer over the NoC.
+	OpSend
+	// OpRecv blocks until the matching OpSend from core Peer lands.
+	OpRecv
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "mvin"
+	case OpStore:
+		return "mvout"
+	case OpCompute:
+		return "matmul"
+	case OpSend:
+		return "noc.send"
+	case OpRecv:
+		return "noc.recv"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one NPU instruction.
+type Op struct {
+	Kind OpKind
+	// VA and Bytes describe the DRAM side of a load/store.
+	VA    mem.VirtAddr
+	Bytes uint64
+	// Cycles is the array occupancy of a compute op.
+	Cycles sim.Cycle
+	// Flits and Peer describe a NoC transfer.
+	Flits int
+	Peer  int
+	// Layer is the index of the layer this op belongs to (drives
+	// flush-granularity and pipeline-mapping decisions).
+	Layer int
+	// Tile marks compute ops as op-kernel boundaries for scheduling.
+	Tile bool
+	// Weight marks loads of the weight (B) matrix; false on loads and
+	// stores of activations. Multi-core mappings strip activation
+	// traffic that arrives over the NoC instead of DRAM.
+	Weight bool
+	// MACs is the multiply-accumulate count of a compute op (energy
+	// accounting).
+	MACs int64
+}
+
+// Program is a compiled workload: a linear op stream for one core.
+type Program struct {
+	Name string
+	Ops  []Op
+	// Layers is the layer count (boundaries usable for flushing).
+	Layers int
+	// TotalMACs is the arithmetic work, for utilization reporting.
+	TotalMACs int64
+	// IdealComputeCycles is the peak-rate lower bound on one core.
+	IdealComputeCycles int64
+	// SpadBytes is the scratchpad budget the program was tiled for.
+	SpadBytes int
+	// LiveSpadBytes approximates the occupied footprint while running
+	// (the double-buffered peak working set).
+	LiveSpadBytes uint64
+	// AccTileBytes is the largest accumulator (output) tile — the
+	// dirty state a context-switch flush must save and restore.
+	AccTileBytes uint64
+}
+
+// Measurement hashes the op stream — the code-integrity measurement
+// the NPU Monitor's code verifier checks before loading a secure task.
+func (p *Program) Measurement() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(p.Name))
+	for _, op := range p.Ops {
+		write(uint64(op.Kind))
+		write(uint64(op.VA))
+		write(op.Bytes)
+		write(uint64(op.Cycles))
+		write(uint64(op.Flits))
+		write(uint64(op.Peer))
+		write(uint64(op.Layer))
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Validate statically checks a program's structure: layer indices in
+// range and non-decreasing (the flush/pipeline machinery depends on
+// monotonic layers), op kinds known, loads/stores non-empty, compute
+// ops carrying positive occupancy, and NoC ops carrying positive flit
+// counts. The NPU Monitor runs this on decoded task images before
+// accepting them — a malformed stream is rejected rather than executed.
+func (p *Program) Validate() error {
+	if p.Layers <= 0 {
+		return fmt.Errorf("npu: program %q has %d layers", p.Name, p.Layers)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("npu: program %q has no ops", p.Name)
+	}
+	prevLayer := 0
+	for i, op := range p.Ops {
+		if op.Layer < 0 || op.Layer >= p.Layers {
+			return fmt.Errorf("npu: op %d layer %d out of range [0,%d)", i, op.Layer, p.Layers)
+		}
+		if op.Layer < prevLayer {
+			return fmt.Errorf("npu: op %d layer %d after layer %d (must be non-decreasing)", i, op.Layer, prevLayer)
+		}
+		prevLayer = op.Layer
+		switch op.Kind {
+		case OpLoad, OpStore:
+			if op.Bytes == 0 {
+				return fmt.Errorf("npu: op %d: empty %s", i, op.Kind)
+			}
+		case OpCompute:
+			if op.Cycles <= 0 {
+				return fmt.Errorf("npu: op %d: compute with %d cycles", i, op.Cycles)
+			}
+		case OpSend, OpRecv:
+			if op.Flits <= 0 {
+				return fmt.Errorf("npu: op %d: %s with %d flits", i, op.Kind, op.Flits)
+			}
+		default:
+			return fmt.Errorf("npu: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Layout fixes the virtual-address plan of a compiled task: the
+// driver allocates chunks (weights, activations) in NPU-reserved
+// memory and the compiler places tiles inside them.
+type Layout struct {
+	// WeightBase is the VA of the packed weight chunk.
+	WeightBase mem.VirtAddr
+	// ActBase is the VA of the activation (input/output) chunk. Zero
+	// means "place it page-aligned right after the weights", keeping
+	// the task's VA window compact.
+	ActBase mem.VirtAddr
+}
+
+// DefaultLayout is the conventional task address plan: a compact
+// window starting at 1 MiB with activations following the weights.
+var DefaultLayout = Layout{WeightBase: 0x10_0000}
+
+// CompileStats summarizes what the compiler produced.
+type CompileStats struct {
+	Ops          int
+	TileIters    int
+	WeightBytes  int64
+	TrafficBytes int64
+}
+
+// Compile lowers a workload into a Program for one core: every GEMM is
+// tiled for the scratchpad budget, and each tile iteration becomes
+// mvin/matmul/mvout ops. Matrices are assumed packed in tile order by
+// the driver (the usual NPU weight layout), so each DMA descriptor
+// covers SystolicDim rows of a tile contiguously.
+func Compile(w workload.Workload, cfg Config, spadBudget int, layout Layout) (*Program, CompileStats, error) {
+	if err := w.Validate(); err != nil {
+		return nil, CompileStats{}, err
+	}
+	if spadBudget <= 0 {
+		spadBudget = cfg.SpadBytes
+	}
+	dim := cfg.SystolicDim
+	p := &Program{Name: w.Name, Layers: len(w.Layers), SpadBytes: spadBudget}
+	var st CompileStats
+	weightOff := uint64(0)
+	actOff := uint64(0)
+	var maxLive uint64
+
+	// First pass: tile every GEMM and total the packed weight bytes so
+	// the activation region can sit compactly after the weights.
+	var tilings []workload.Tiling
+	var weightTotal uint64
+	for _, layer := range w.Layers {
+		for _, g := range layer.GEMMs {
+			tl, err := workload.ChooseTiling(g, spadBudget, dim)
+			if err != nil {
+				return nil, CompileStats{}, fmt.Errorf("npu: tiling %s/%s: %w", w.Name, g.Name, err)
+			}
+			tilings = append(tilings, tl)
+			_, kc, nc := tl.Counts()
+			weightTotal += uint64(kc * nc * tl.Kt * tl.Nt)
+		}
+	}
+	if layout.ActBase == 0 {
+		layout.ActBase = layout.WeightBase + mem.VirtAddr(mem.PageAlignUp(mem.PhysAddr(weightTotal)))
+	}
+
+	gemmIdx := 0
+	for li, layer := range w.Layers {
+		for _, g := range layer.GEMMs {
+			tl := tilings[gemmIdx]
+			gemmIdx++
+			mc, kc, nc := tl.Counts()
+			st.TileIters += mc * kc * nc
+			st.TrafficBytes += tl.DRAMTrafficBytes()
+			p.TotalMACs += g.MACs()
+			p.IdealComputeCycles += workload.IdealComputeCycles(g, dim)
+			if live := uint64(2*(tl.Mt*tl.Kt+tl.Kt*tl.Nt) + tl.Mt*tl.Nt); live > maxLive {
+				maxLive = live
+			}
+			if acc := uint64(tl.Mt * tl.Nt); acc > p.AccTileBytes {
+				p.AccTileBytes = acc
+			}
+
+			// Packed-tile chunk sizes (full tile slots, edges padded).
+			aPacked := uint64(mc * kc * tl.Mt * tl.Kt)
+			bPacked := uint64(kc * nc * tl.Kt * tl.Nt)
+			cPacked := uint64(mc * nc * tl.Mt * tl.Nt)
+			aBase := layout.ActBase + mem.VirtAddr(actOff)
+			bBase := layout.WeightBase + mem.VirtAddr(weightOff)
+			cBase := aBase + mem.VirtAddr(aPacked)
+
+			tileSize := func(total, tile, idx, count int) int {
+				if idx == count-1 {
+					return total - tile*(count-1)
+				}
+				return tile
+			}
+
+			for mi := 0; mi < mc; mi++ {
+				mt := tileSize(g.M, tl.Mt, mi, mc)
+				for ni := 0; ni < nc; ni++ {
+					nt := tileSize(g.N, tl.Nt, ni, nc)
+					for ki := 0; ki < kc; ki++ {
+						kt := tileSize(g.K, tl.Kt, ki, kc)
+						// mvin A tile (mi,ki): descriptors of dim rows.
+						aTileVA := aBase + mem.VirtAddr((mi*kc+ki)*(tl.Mt*tl.Kt))
+						emitDescriptors(p, OpLoad, aTileVA, mt, kt, dim, tl.Kt, li, false)
+						// mvin B tile (ki,ni).
+						bTileVA := bBase + mem.VirtAddr((ki*nc+ni)*(tl.Kt*tl.Nt))
+						emitDescriptors(p, OpLoad, bTileVA, kt, nt, dim, tl.Nt, li, true)
+						// matmul.
+						passes := int64(ceilDiv(mt, dim)) * int64(ceilDiv(nt, dim))
+						cycles := float64(passes*int64(kt+2*dim)) / g.Eff()
+						p.Ops = append(p.Ops, Op{
+							Kind: OpCompute, Cycles: sim.Cycle(cycles), Layer: li, Tile: true,
+							MACs: int64(mt) * int64(kt) * int64(nt),
+						})
+					}
+					// mvout C tile (mi,ni).
+					cTileVA := cBase + mem.VirtAddr((mi*nc+ni)*(tl.Mt*tl.Nt))
+					emitDescriptors(p, OpStore, cTileVA, mt, nt, dim, tl.Nt, li, false)
+				}
+			}
+			weightOff += bPacked
+			actOff += aPacked + cPacked
+		}
+	}
+	p.LiveSpadBytes = maxLive
+	st.Ops = len(p.Ops)
+	st.WeightBytes = int64(weightOff)
+	return p, st, nil
+}
+
+// emitDescriptors appends the mvin/mvout descriptors for a rows x cols
+// tile stored packed with row stride strideCols: one descriptor per
+// dim-row block, each contiguous in the packed layout.
+func emitDescriptors(p *Program, kind OpKind, base mem.VirtAddr, rows, cols, dim, strideCols, layer int, weight bool) {
+	for r := 0; r < rows; r += dim {
+		blockRows := dim
+		if r+blockRows > rows {
+			blockRows = rows - r
+		}
+		va := base + mem.VirtAddr(r*strideCols)
+		p.Ops = append(p.Ops, Op{
+			Kind:   kind,
+			VA:     va,
+			Bytes:  uint64(blockRows * cols * workload.ElemBytes),
+			Layer:  layer,
+			Weight: weight,
+		})
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// VASpan reports the lowest VA and one past the highest VA the
+// program's loads/stores touch — the window the driver must map (and
+// the monitor must cover with translation registers).
+func (p *Program) VASpan() (lo, hi mem.VirtAddr) {
+	first := true
+	for _, op := range p.Ops {
+		if op.Kind != OpLoad && op.Kind != OpStore {
+			continue
+		}
+		if first || op.VA < lo {
+			lo = op.VA
+		}
+		if end := op.VA + mem.VirtAddr(op.Bytes); first || end > hi {
+			hi = end
+		}
+		first = false
+	}
+	return lo, hi
+}

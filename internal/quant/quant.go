@@ -1,0 +1,178 @@
+// Package quant provides the int8 quantization arithmetic an
+// integer-only NPU stack needs: affine (scale + zero-point)
+// quantization of float tensors, dequantization, and the fixed-point
+// requantization step that folds a layer's int32 accumulator output
+// back into int8 activations for the next layer.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params is an affine quantization: real = Scale * (q - ZeroPoint).
+type Params struct {
+	Scale     float64
+	ZeroPoint int32
+}
+
+// Validate rejects unusable parameters.
+func (p Params) Validate() error {
+	if p.Scale <= 0 || math.IsInf(p.Scale, 0) || math.IsNaN(p.Scale) {
+		return fmt.Errorf("quant: invalid scale %v", p.Scale)
+	}
+	if p.ZeroPoint < -128 || p.ZeroPoint > 127 {
+		return fmt.Errorf("quant: zero point %d outside int8", p.ZeroPoint)
+	}
+	return nil
+}
+
+// Choose derives parameters covering [min, max] with the full int8
+// range. A degenerate range (min == max) still quantizes losslessly.
+func Choose(min, max float64) (Params, error) {
+	if math.IsNaN(min) || math.IsNaN(max) || min > max {
+		return Params{}, fmt.Errorf("quant: invalid range [%v, %v]", min, max)
+	}
+	// The range must include zero so that real 0.0 is exactly
+	// representable (required for zero padding to be exact).
+	if min > 0 {
+		min = 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	if min == max {
+		return Params{Scale: 1, ZeroPoint: 0}, nil
+	}
+	scale := (max - min) / 255.0
+	zp := int32(math.Round(-128 - min/scale))
+	if zp < -128 {
+		zp = -128
+	}
+	if zp > 127 {
+		zp = 127
+	}
+	return Params{Scale: scale, ZeroPoint: zp}, nil
+}
+
+// Quantize maps a real value into int8 under p, saturating.
+func (p Params) Quantize(x float64) int8 {
+	q := math.Round(x/p.Scale) + float64(p.ZeroPoint)
+	if q > 127 {
+		q = 127
+	}
+	if q < -128 {
+		q = -128
+	}
+	return int8(q)
+}
+
+// Dequantize maps an int8 back to its real value.
+func (p Params) Dequantize(q int8) float64 {
+	return p.Scale * float64(int32(q)-p.ZeroPoint)
+}
+
+// QuantizeSlice quantizes a tensor.
+func (p Params) QuantizeSlice(xs []float64) []int8 {
+	out := make([]int8, len(xs))
+	for i, x := range xs {
+		out[i] = p.Quantize(x)
+	}
+	return out
+}
+
+// DequantizeSlice recovers real values.
+func (p Params) DequantizeSlice(qs []int8) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = p.Dequantize(q)
+	}
+	return out
+}
+
+// ChooseFor picks parameters covering a tensor's observed range.
+func ChooseFor(xs []float64) (Params, error) {
+	if len(xs) == 0 {
+		return Params{}, fmt.Errorf("quant: empty tensor")
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return Choose(min, max)
+}
+
+// Requant is the integer-only fixed-point multiplier for folding an
+// int32 accumulator into the next layer's int8 domain:
+// out = sat(round(acc * M) + outZP) where the real multiplier
+// M = inScale*wScale/outScale is expressed as mult * 2^-shift.
+type Requant struct {
+	mult  int64 // 32-bit fixed-point multiplier (Q31-ish)
+	shift uint  // right shift after the multiply
+	outZP int32
+}
+
+// NewRequant builds the integer pipeline for a real multiplier in
+// (0, 1]. NPUs compute this offline per layer.
+func NewRequant(realMultiplier float64, outZP int32) (Requant, error) {
+	if realMultiplier <= 0 || realMultiplier > 1 {
+		return Requant{}, fmt.Errorf("quant: multiplier %v outside (0,1]", realMultiplier)
+	}
+	// Normalize into [0.5, 1) * 2^-n.
+	shift := uint(0)
+	m := realMultiplier
+	for m < 0.5 {
+		m *= 2
+		shift++
+		if shift > 62 {
+			return Requant{}, fmt.Errorf("quant: multiplier %v too small", realMultiplier)
+		}
+	}
+	const q = 31
+	mult := int64(math.Round(m * (1 << q)))
+	return Requant{mult: mult, shift: shift + q, outZP: outZP}, nil
+}
+
+// Apply folds one accumulator value to int8.
+func (r Requant) Apply(acc int32) int8 {
+	prod := int64(acc) * r.mult
+	// Round-to-nearest on the right shift.
+	half := int64(1) << (r.shift - 1)
+	v := (prod + half) >> r.shift
+	v += int64(r.outZP)
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	return int8(v)
+}
+
+// ApplySlice requantizes a whole accumulator tensor.
+func (r Requant) ApplySlice(accs []int32) []int8 {
+	out := make([]int8, len(accs))
+	for i, a := range accs {
+		out[i] = r.Apply(a)
+	}
+	return out
+}
+
+// ReLUInt8 is the integer activation: values below the zero point
+// clamp to it (real 0).
+func ReLUInt8(qs []int8, zp int32) []int8 {
+	out := make([]int8, len(qs))
+	for i, q := range qs {
+		if int32(q) < zp {
+			out[i] = int8(zp)
+		} else {
+			out[i] = q
+		}
+	}
+	return out
+}

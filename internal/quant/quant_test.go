@@ -1,0 +1,206 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseCoversRangeAndZero(t *testing.T) {
+	p, err := Choose(-1.5, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero is exactly representable.
+	if got := p.Dequantize(p.Quantize(0)); got != 0 {
+		t.Fatalf("quantized zero dequantizes to %v", got)
+	}
+	// Endpoints round-trip within one step.
+	for _, x := range []float64{-1.5, 3.0, 0.7} {
+		back := p.Dequantize(p.Quantize(x))
+		if math.Abs(back-x) > p.Scale {
+			t.Fatalf("%v -> %v (scale %v)", x, back, p.Scale)
+		}
+	}
+}
+
+func TestChooseDegenerateAndInvalid(t *testing.T) {
+	p, err := Choose(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Quantize(0) != 0 {
+		t.Fatal("degenerate range broke zero")
+	}
+	if _, err := Choose(2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Choose(math.NaN(), 1); err == nil {
+		t.Fatal("NaN range accepted")
+	}
+	// Positive-only and negative-only ranges still include zero.
+	p, err = Choose(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dequantize(p.Quantize(0)) != 0 {
+		t.Fatal("positive-only range lost zero")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Scale: 0, ZeroPoint: 0}).Validate(); err == nil {
+		t.Fatal("zero scale validated")
+	}
+	if err := (Params{Scale: 1, ZeroPoint: 200}).Validate(); err == nil {
+		t.Fatal("out-of-range zero point validated")
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	p := Params{Scale: 0.1, ZeroPoint: 0}
+	if p.Quantize(1e9) != 127 || p.Quantize(-1e9) != -128 {
+		t.Fatal("saturation broken")
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	xs := []float64{-1, -0.5, 0, 0.25, 0.9}
+	p, err := ChooseFor(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := p.DequantizeSlice(p.QuantizeSlice(xs))
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > p.Scale {
+			t.Fatalf("element %d: %v -> %v", i, xs[i], back[i])
+		}
+	}
+	if _, err := ChooseFor(nil); err == nil {
+		t.Fatal("empty tensor accepted")
+	}
+}
+
+// Property: for random tensors, quantize-dequantize error is bounded
+// by one scale step everywhere.
+func TestQuantizationErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = (rng.Float64() - 0.5) * 20
+		}
+		p, err := ChooseFor(xs)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if math.Abs(p.Dequantize(p.Quantize(x))-x) > p.Scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequantMatchesFloatReference(t *testing.T) {
+	r, err := NewRequant(0.0037, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range []int32{0, 1, -1, 1000, -1000, 30000, -30000, 1 << 20} {
+		got := r.Apply(acc)
+		ref := math.Round(float64(acc)*0.0037) + 3
+		if ref > 127 {
+			ref = 127
+		}
+		if ref < -128 {
+			ref = -128
+		}
+		if math.Abs(float64(got)-ref) > 1 {
+			t.Fatalf("acc %d: got %d, float ref %v", acc, got, ref)
+		}
+	}
+}
+
+func TestRequantValidation(t *testing.T) {
+	if _, err := NewRequant(0, 0); err == nil {
+		t.Fatal("zero multiplier accepted")
+	}
+	if _, err := NewRequant(1.5, 0); err == nil {
+		t.Fatal("multiplier > 1 accepted")
+	}
+	if _, err := NewRequant(1e-30, 0); err == nil {
+		t.Fatal("vanishing multiplier accepted")
+	}
+	if _, err := NewRequant(1.0, 0); err != nil {
+		t.Fatal("multiplier exactly 1 rejected")
+	}
+}
+
+// Property: requantization agrees with the floating-point reference
+// within one LSB for random multipliers and accumulators.
+func TestRequantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Float64()*0.99 + 0.0001
+		zp := int32(rng.Intn(20) - 10)
+		r, err := NewRequant(m, zp)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			acc := int32(rng.Intn(1<<22) - 1<<21)
+			ref := math.Round(float64(acc)*m) + float64(zp)
+			if ref > 127 {
+				ref = 127
+			}
+			if ref < -128 {
+				ref = -128
+			}
+			if math.Abs(float64(r.Apply(acc))-ref) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUInt8(t *testing.T) {
+	got := ReLUInt8([]int8{-5, 0, 3, 120}, 0)
+	want := []int8{0, 0, 3, 120}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("relu = %v", got)
+		}
+	}
+	// Non-zero zero point clamps to it.
+	got = ReLUInt8([]int8{-5, 2, 7}, 2)
+	if got[0] != 2 || got[1] != 2 || got[2] != 7 {
+		t.Fatalf("relu zp=2 -> %v", got)
+	}
+}
+
+func TestRequantSlice(t *testing.T) {
+	r, err := NewRequant(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.ApplySlice([]int32{2, 4, -6})
+	want := []int8{1, 2, -3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice = %v", got)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package sim provides the discrete-event simulation substrate used by
+// every timed component in the sNPU reproduction: a cycle clock, an
+// event heap, serialized resources with FIFO contention, and named
+// statistics counters.
+//
+// The engine is deterministic: events scheduled for the same cycle fire
+// in the order they were scheduled, so repeated runs of the same
+// configuration produce identical cycle counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point on (or a span of) the simulated clock. The SoC in
+// the paper runs at 1 GHz, so one Cycle is one nanosecond of simulated
+// time under the default configuration.
+type Cycle int64
+
+// event is a scheduled callback. seq breaks ties so that same-cycle
+// events fire in scheduling order.
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	events  eventHeap
+	stats   *Stats
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0 with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{stats: NewStats()}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Stats returns the engine-wide statistics sink.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Schedule runs fn at the given absolute cycle. Scheduling in the past
+// panics: it indicates a component bug, not a recoverable condition.
+func (e *Engine) Schedule(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run drains the event queue, advancing the clock, until no events
+// remain or Stop is called. It returns the final cycle.
+func (e *Engine) Run() Cycle {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil drains events with timestamps <= limit. Events beyond the
+// limit stay queued. It returns the final cycle (<= limit).
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	for len(e.events) > 0 && e.events[0].at <= limit && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < limit && !e.stopped {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Stop halts Run after the currently firing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Advance moves the clock forward without firing events. It is used by
+// sequential task executors that compute their own op durations and
+// only need the shared clock and resources. Moving backwards panics.
+func (e *Engine) Advance(to Cycle) {
+	if to < e.now {
+		panic(fmt.Sprintf("sim: advancing clock backwards from %d to %d", e.now, to))
+	}
+	e.now = to
+}

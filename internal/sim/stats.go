@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a named-counter sink shared across components. Counters are
+// created on first use; reads of unknown counters return zero. It is
+// not safe for concurrent use — the simulator is single-threaded.
+type Stats struct {
+	counters map[string]int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (s *Stats) Add(name string, delta int64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Get reads counter name, zero if never written.
+func (s *Stats) Get(name string) int64 { return s.counters[name] }
+
+// Set overwrites counter name.
+func (s *Stats) Set(name string, v int64) { s.counters[name] = v }
+
+// Reset clears every counter.
+func (s *Stats) Reset() {
+	s.counters = make(map[string]int64)
+}
+
+// Names returns the sorted counter names.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies all counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters one per line, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.counters[name])
+	}
+	return b.String()
+}
+
+// Common counter names used across the simulator. Keeping them here
+// avoids typo'd string literals scattering through components.
+const (
+	CtrDRAMRequests     = "dram.requests"
+	CtrDRAMBytes        = "dram.bytes"
+	CtrDMARequests      = "dma.requests"
+	CtrDMAPackets       = "dma.packets"
+	CtrDMABytes         = "dma.bytes"
+	CtrIOTLBLookups     = "iotlb.lookups"
+	CtrIOTLBHits        = "iotlb.hits"
+	CtrIOTLBMisses      = "iotlb.misses"
+	CtrIOTLBFlushes     = "iotlb.flushes"
+	CtrPageWalks        = "iommu.pagewalks"
+	CtrPageWalkCycles   = "iommu.pagewalk_cycles"
+	CtrGuarderChecks    = "guarder.checks"
+	CtrGuarderDenied    = "guarder.denied"
+	CtrSpadReads        = "spad.reads"
+	CtrSpadWrites       = "spad.writes"
+	CtrSpadDenied       = "spad.denied"
+	CtrSpadFlushBytes   = "spad.flush_bytes"
+	CtrNoCPackets       = "noc.packets"
+	CtrNoCFlits         = "noc.flits"
+	CtrNoCAuthPass      = "noc.auth_pass"
+	CtrNoCAuthFail      = "noc.auth_fail"
+	CtrComputeCycles    = "npu.compute_cycles"
+	CtrComputeMACs      = "npu.macs"
+	CtrMonitorCalls     = "monitor.calls"
+	CtrMonitorRejected  = "monitor.rejected"
+	CtrCtxSwitches      = "driver.ctx_switches"
+	CtrTranslations     = "xlate.requests"
+	CtrTranslationStall = "xlate.stall_cycles"
+)

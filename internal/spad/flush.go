@@ -1,0 +1,103 @@
+package spad
+
+import "repro/internal/sim"
+
+// This file models the two strawman scratchpad protections the paper
+// compares against (Table I, Fig. 14, Fig. 15): flushing with context
+// save/restore, and static partitioning. Neither adds hardware; both
+// cost performance or utilization, which is what the experiments
+// measure.
+
+// FlushGranularity selects how often a time-shared NPU flushes the
+// scratchpad between tasks (Fig. 14).
+type FlushGranularity int
+
+const (
+	// FlushNone disables flushing (baseline / sNPU — ID isolation
+	// removes the need to flush).
+	FlushNone FlushGranularity = iota
+	// FlushPerTile flushes at op-kernel (tile) boundaries.
+	FlushPerTile
+	// FlushPerLayer flushes at layer boundaries.
+	FlushPerLayer
+	// FlushPer5Layers flushes every five layers.
+	FlushPer5Layers
+)
+
+func (g FlushGranularity) String() string {
+	switch g {
+	case FlushNone:
+		return "none"
+	case FlushPerTile:
+		return "tile"
+	case FlushPerLayer:
+		return "layer"
+	case FlushPer5Layers:
+		return "5-layers"
+	default:
+		return "unknown"
+	}
+}
+
+// FlushCost computes the critical-path cycle cost of one flush event
+// ("flushing is not just zeroing out the contents ... but needs to
+// save and restore the task's context"). The save of the dirty bytes
+// serializes before the next task may touch the scratchpad; the
+// restore happens at the evicted task's next resume and overlaps its
+// own re-issued tile loads, so only the save sits on the critical
+// path. liveBytes is the dirty footprint; bandwidth is DRAM
+// bytes/cycle; latency is the per-DMA-batch fixed cost.
+func FlushCost(liveBytes uint64, bandwidthBytesPerCycle uint64, dmaLatency sim.Cycle, stats *sim.Stats) sim.Cycle {
+	if liveBytes == 0 {
+		return 0
+	}
+	if bandwidthBytesPerCycle == 0 {
+		bandwidthBytesPerCycle = 1
+	}
+	cycles := sim.Cycle(liveBytes/bandwidthBytesPerCycle) + dmaLatency
+	if stats != nil {
+		// Save now + restore later: 2x total traffic.
+		stats.Add(sim.CtrSpadFlushBytes, int64(2*liveBytes))
+	}
+	return cycles
+}
+
+// Partition is a static split of a scratchpad between the trusted and
+// untrusted worlds (Fig. 6(a), Fig. 15): the trusted task owns
+// [0, Boundary) lines, the untrusted task owns the rest. The split is
+// fixed at configuration time; fragmentation and misfit are the cost.
+type Partition struct {
+	TotalLines int
+	Boundary   int // first untrusted line
+}
+
+// NewPartition splits lines so the trusted world owns the given
+// fraction (e.g., 0.25, 0.5, 0.75).
+func NewPartition(totalLines int, trustedFraction float64) Partition {
+	b := int(float64(totalLines) * trustedFraction)
+	if b < 0 {
+		b = 0
+	}
+	if b > totalLines {
+		b = totalLines
+	}
+	return Partition{TotalLines: totalLines, Boundary: b}
+}
+
+// TrustedLines reports the trusted share.
+func (p Partition) TrustedLines() int { return p.Boundary }
+
+// UntrustedLines reports the untrusted share.
+func (p Partition) UntrustedLines() int { return p.TotalLines - p.Boundary }
+
+// Allows reports whether a world's access to a line respects the
+// static split (secure domain maps to the trusted share).
+func (p Partition) Allows(d DomainID, line int) bool {
+	if line < 0 || line >= p.TotalLines {
+		return false
+	}
+	if d == NonSecure {
+		return line >= p.Boundary
+	}
+	return line < p.Boundary
+}

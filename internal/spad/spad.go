@@ -1,0 +1,266 @@
+// Package spad models the NPU scratchpad: a software-managed,
+// index-addressed SRAM with no association to system memory, extended
+// with the paper's ID-based isolation (§IV-B, §V).
+//
+// Each wordline carries a small ID state (one bit for the two-domain
+// default; the width is configurable per §VII "Multiple Secure
+// Domains"). Two rule sets apply:
+//
+//   - Exclusive (core-local) scratchpad: reads require the line's ID to
+//     match the accessing core's ID; writes are always allowed and
+//     overwrite the line's ID with the writer's. This makes stale
+//     secrets unreadable (LeftoverLocals) without any flushing.
+//   - Shared (global) scratchpad: non-secure cores may neither read
+//     nor write secure lines; a secure core's access forcibly sets the
+//     touched line secure. A dedicated secure instruction resets lines
+//     back to non-secure.
+//
+// The checks are combinational (same-cycle), so isolation adds zero
+// runtime cost; the cost model for the *strawman* mechanisms (flushing
+// with context save/restore, static partition) lives in flush.go.
+package spad
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tee"
+)
+
+// DomainID is a wordline's (or core's) security-domain tag. Domain 0
+// is the normal world; the default configuration has exactly one other
+// domain (1 = secure), matching TrustZone-style partitioning.
+type DomainID uint8
+
+const (
+	// NonSecure is the normal-world domain tag.
+	NonSecure DomainID = 0
+	// SecureDomain is the default secure-world domain tag.
+	SecureDomain DomainID = 1
+)
+
+// Kind selects which access-rule set a scratchpad enforces.
+type Kind uint8
+
+const (
+	// Exclusive is a core-local scratchpad (input/output scratchpad in
+	// Gemmini terms).
+	Exclusive Kind = iota
+	// Shared is a globally visible scratchpad (or the accumulator
+	// banks shared across cores).
+	Shared
+)
+
+func (k Kind) String() string {
+	if k == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// ErrIsolation is returned when the ID-state rules deny an access.
+var ErrIsolation = errors.New("spad: access denied by ID-state isolation")
+
+// Config describes a scratchpad instance.
+type Config struct {
+	// Lines is the number of wordlines.
+	Lines int
+	// LineBytes is the payload per wordline (paper: 128b=16B for
+	// input/output scratchpads, 512b=64B for accumulators).
+	LineBytes int
+	// Kind selects exclusive vs shared access rules.
+	Kind Kind
+	// IDBits is the width of the per-line domain tag (default 1).
+	IDBits int
+	// Isolated enables ID checking; false models the unprotected
+	// baseline NPU (attacks succeed against it).
+	Isolated bool
+}
+
+// Scratchpad is one SRAM instance with per-line ID state.
+type Scratchpad struct {
+	cfg   Config
+	data  []byte
+	ids   []DomainID
+	valid []bool
+	stats *sim.Stats
+}
+
+// New builds a scratchpad; payload bytes are zero, all lines
+// non-secure and invalid (never written).
+func New(cfg Config, stats *sim.Stats) (*Scratchpad, error) {
+	if cfg.Lines <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("spad: invalid geometry %d x %dB", cfg.Lines, cfg.LineBytes)
+	}
+	if cfg.IDBits == 0 {
+		cfg.IDBits = 1
+	}
+	if cfg.IDBits < 1 || cfg.IDBits > 8 {
+		return nil, fmt.Errorf("spad: IDBits %d out of range [1,8]", cfg.IDBits)
+	}
+	return &Scratchpad{
+		cfg:   cfg,
+		data:  make([]byte, cfg.Lines*cfg.LineBytes),
+		ids:   make([]DomainID, cfg.Lines),
+		valid: make([]bool, cfg.Lines),
+		stats: stats,
+	}, nil
+}
+
+// Config returns the scratchpad's configuration.
+func (s *Scratchpad) Config() Config { return s.cfg }
+
+// Lines returns the wordline count.
+func (s *Scratchpad) Lines() int { return s.cfg.Lines }
+
+// LineBytes returns the payload bytes per wordline.
+func (s *Scratchpad) LineBytes() int { return s.cfg.LineBytes }
+
+// Bytes returns the total payload capacity.
+func (s *Scratchpad) Bytes() int { return s.cfg.Lines * s.cfg.LineBytes }
+
+func (s *Scratchpad) maxDomain() DomainID {
+	return DomainID(1<<s.cfg.IDBits - 1)
+}
+
+func (s *Scratchpad) checkLine(line int) error {
+	if line < 0 || line >= s.cfg.Lines {
+		return fmt.Errorf("spad: line %d out of range (%d lines)", line, s.cfg.Lines)
+	}
+	return nil
+}
+
+func (s *Scratchpad) checkDomain(d DomainID) error {
+	if d > s.maxDomain() {
+		return fmt.Errorf("spad: domain %d exceeds %d-bit ID state", d, s.cfg.IDBits)
+	}
+	return nil
+}
+
+// LineID reports the current domain tag of a line.
+func (s *Scratchpad) LineID(line int) DomainID {
+	if line < 0 || line >= s.cfg.Lines {
+		return 0
+	}
+	return s.ids[line]
+}
+
+// LineValid reports whether a line has ever been written.
+func (s *Scratchpad) LineValid(line int) bool {
+	if line < 0 || line >= s.cfg.Lines {
+		return false
+	}
+	return s.valid[line]
+}
+
+// Read copies one wordline into dst (len(dst) capped at LineBytes),
+// enforcing the ID rules for a core in domain `core`.
+//
+// Exclusive rule: a read is denied when the line's ID differs from the
+// core's. Shared rule: a non-secure core is denied on any line tagged
+// with a different (secure) domain; a secure core's read retags the
+// line to its own domain.
+//
+// With Isolated=false (baseline NPU) the read always succeeds, even of
+// stale lines written by another task — the LeftoverLocals bug.
+func (s *Scratchpad) Read(core DomainID, line int, dst []byte) error {
+	if err := s.checkLine(line); err != nil {
+		return err
+	}
+	if err := s.checkDomain(core); err != nil {
+		return err
+	}
+	if s.stats != nil {
+		s.stats.Inc(sim.CtrSpadReads)
+	}
+	if s.cfg.Isolated {
+		switch s.cfg.Kind {
+		case Exclusive:
+			if s.ids[line] != core {
+				return s.deny("read", core, line)
+			}
+		case Shared:
+			if s.ids[line] != core && core == NonSecure {
+				return s.deny("read", core, line)
+			}
+			// A secure core touching a line claims it for its domain.
+			s.ids[line] = core
+		}
+	}
+	copy(dst, s.lineSlice(line))
+	return nil
+}
+
+// Write stores src into a wordline.
+//
+// Exclusive rule: writes always succeed and retag the line with the
+// writer's ID (forcible overwrite — the old secret is destroyed, not
+// disclosed). Shared rule: a non-secure core may not overwrite a
+// secure line; a secure core's write retags the line.
+func (s *Scratchpad) Write(core DomainID, line int, src []byte) error {
+	if err := s.checkLine(line); err != nil {
+		return err
+	}
+	if err := s.checkDomain(core); err != nil {
+		return err
+	}
+	if s.stats != nil {
+		s.stats.Inc(sim.CtrSpadWrites)
+	}
+	if s.cfg.Isolated && s.cfg.Kind == Shared && s.ids[line] != core && core == NonSecure {
+		return s.deny("write", core, line)
+	}
+	dst := s.lineSlice(line)
+	n := copy(dst, src)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	s.ids[line] = core
+	s.valid[line] = true
+	return nil
+}
+
+func (s *Scratchpad) deny(op string, core DomainID, line int) error {
+	if s.stats != nil {
+		s.stats.Inc(sim.CtrSpadDenied)
+	}
+	return fmt.Errorf("%w: %s of %s line %d (tag %d) by core domain %d",
+		ErrIsolation, op, s.cfg.Kind, line, s.ids[line], core)
+}
+
+func (s *Scratchpad) lineSlice(line int) []byte {
+	return s.data[line*s.cfg.LineBytes : (line+1)*s.cfg.LineBytes]
+}
+
+// ResetSecure is the dedicated secure instruction that returns lines
+// [from, to) to the non-secure domain, zeroing their payload so no
+// secret outlives the retag. Only the secure world may issue it.
+func (s *Scratchpad) ResetSecure(ctx tee.Context, from, to int) error {
+	if err := ctx.RequireSecure(); err != nil {
+		return err
+	}
+	if from < 0 || to > s.cfg.Lines || from > to {
+		return fmt.Errorf("spad: reset range [%d,%d) out of bounds", from, to)
+	}
+	for line := from; line < to; line++ {
+		dst := s.lineSlice(line)
+		for i := range dst {
+			dst[i] = 0
+		}
+		s.ids[line] = NonSecure
+		s.valid[line] = false
+	}
+	return nil
+}
+
+// CountDomain reports how many lines are tagged with domain d.
+func (s *Scratchpad) CountDomain(d DomainID) int {
+	n := 0
+	for _, id := range s.ids {
+		if id == d {
+			n++
+		}
+	}
+	return n
+}

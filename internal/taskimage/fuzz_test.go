@@ -1,0 +1,53 @@
+package taskimage
+
+import (
+	"testing"
+
+	"repro/internal/isolator"
+	"repro/internal/npu"
+	"repro/internal/workload"
+)
+
+// FuzzDecode drives the untrusted-image decoder with arbitrary bytes.
+// The security property is "no panic, no over-allocation"; acceptance
+// additionally implies a structurally bounded program. Run longer with
+// `go test -fuzz=FuzzDecode ./internal/taskimage`.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid image and a few degenerate corpora.
+	w := workload.Workload{
+		Name: "fuzz",
+		Layers: []workload.Layer{
+			{Name: "l0", GEMMs: []workload.GEMM{{Name: "g", M: 16, K: 16, N: 16}}},
+		},
+	}
+	prog, _, err := npu.Compile(w, npu.DefaultConfig(), 0, npu.DefaultLayout)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Encode(&Image{
+		Name:     "fuzz",
+		Program:  prog,
+		Expected: prog.Measurement(),
+		Topology: isolator.Topology{W: 1, H: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x73, 0x50, 0x4e, 0x55}) // bare magic
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if img.Program == nil {
+			t.Fatal("accepted image with nil program")
+		}
+		if len(img.Program.Ops) > MaxOps || len(img.SealedModel) > MaxModelBytes {
+			t.Fatal("accepted image exceeding caps")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package tee
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Remote attestation: the Root-of-Trust signs (here: MACs, standing in
+// for an asymmetric signature) a report binding the secure-boot chain
+// digest to a task's code measurement and a caller-chosen nonce. A
+// model owner verifies the report before provisioning keys, closing
+// the loop the NPU Monitor's sealing path assumes.
+
+// ErrNotAttestable is returned when attestation is requested before
+// secure boot completed.
+var ErrNotAttestable = errors.New("tee: machine not secure-booted, nothing to attest")
+
+// ErrBadReport is returned when report verification fails.
+var ErrBadReport = errors.New("tee: attestation report verification failed")
+
+// Report is one attestation quote.
+type Report struct {
+	// BootDigest is the extended secure-boot chain measurement.
+	BootDigest Measurement
+	// TaskDigest is the attested task's code measurement.
+	TaskDigest Measurement
+	// Nonce is the verifier's freshness challenge.
+	Nonce uint64
+	// MAC authenticates the above under the device key.
+	MAC [sha256.Size]byte
+}
+
+func (r Report) message() []byte {
+	msg := make([]byte, 0, 2*sha256.Size+8)
+	msg = append(msg, r.BootDigest[:]...)
+	msg = append(msg, r.TaskDigest[:]...)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], r.Nonce)
+	return append(msg, n[:]...)
+}
+
+// deviceKey derives the simulated Root-of-Trust key. A real SoC fuses
+// this at manufacturing; determinism here keeps tests reproducible.
+func (m *Machine) deviceKey() []byte {
+	sum := sha256.Sum256([]byte("snpu-device-key"))
+	return sum[:]
+}
+
+// Attest produces a report for a task measurement under the machine's
+// device key. Only a secure context may ask the Root-of-Trust to
+// quote, and only after secure boot.
+func (m *Machine) Attest(ctx Context, taskDigest Measurement, nonce uint64) (Report, error) {
+	if err := ctx.RequireSecure(); err != nil {
+		return Report{}, err
+	}
+	if !m.Secured() {
+		return Report{}, ErrNotAttestable
+	}
+	r := Report{
+		BootDigest: m.boot.Attestation(),
+		TaskDigest: taskDigest,
+		Nonce:      nonce,
+	}
+	mac := hmac.New(sha256.New, m.deviceKey())
+	mac.Write(r.message())
+	copy(r.MAC[:], mac.Sum(nil))
+	return r, nil
+}
+
+// VerifyReport checks a report against the expected boot digest, task
+// digest, and nonce, using the device key (which a real verifier holds
+// as the vendor's public key).
+func (m *Machine) VerifyReport(r Report, expectedBoot, expectedTask Measurement, nonce uint64) error {
+	mac := hmac.New(sha256.New, m.deviceKey())
+	mac.Write(r.message())
+	if !hmac.Equal(mac.Sum(nil), r.MAC[:]) {
+		return fmt.Errorf("%w: bad MAC", ErrBadReport)
+	}
+	if r.BootDigest != expectedBoot {
+		return fmt.Errorf("%w: boot digest mismatch", ErrBadReport)
+	}
+	if r.TaskDigest != expectedTask {
+		return fmt.Errorf("%w: task digest mismatch", ErrBadReport)
+	}
+	if r.Nonce != nonce {
+		return fmt.Errorf("%w: stale nonce", ErrBadReport)
+	}
+	return nil
+}

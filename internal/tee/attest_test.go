@@ -1,0 +1,80 @@
+package tee
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func bootedMachine(t *testing.T) *Machine {
+	t.Helper()
+	phys := mem.NewPhysical()
+	if err := phys.AddRegion(mem.Region{Name: "normal", Base: 0x8000_0000, Size: 1 << 20, Owner: mem.Normal, CrossPerm: mem.PermRW}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(phys)
+	blobs := [][]byte{[]byte("ldr"), []byte("fw")}
+	m.BootChain().AddStage("loader", MeasureBytes(blobs[0]))
+	m.BootChain().AddStage("firmware", MeasureBytes(blobs[1]))
+	if err := m.Boot(blobs); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAttestRoundTrip(t *testing.T) {
+	m := bootedMachine(t)
+	task := MeasureBytes([]byte("secure model op stream"))
+	const nonce = 0xfeed_beef
+	rep, err := m.Attest(m.SecureContext(), task, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyReport(rep, m.BootChain().Attestation(), task, nonce); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttestRequiresSecureContextAndBoot(t *testing.T) {
+	m := bootedMachine(t)
+	task := MeasureBytes([]byte("x"))
+	if _, err := m.Attest(m.NormalContext(), task, 1); !errors.Is(err, ErrPrivilege) {
+		t.Fatalf("normal world obtained a quote: %v", err)
+	}
+	unbooted := NewMachine(mem.NewPhysical())
+	if _, err := unbooted.Attest(unbooted.SecureContext(), task, 1); !errors.Is(err, ErrNotAttestable) {
+		t.Fatalf("unbooted machine attested: %v", err)
+	}
+}
+
+func TestVerifyReportRejectsTampering(t *testing.T) {
+	m := bootedMachine(t)
+	task := MeasureBytes([]byte("task"))
+	rep, err := m.Attest(m.SecureContext(), task, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := m.BootChain().Attestation()
+
+	// Forged MAC.
+	forged := rep
+	forged.MAC[0] ^= 1
+	if err := m.VerifyReport(forged, boot, task, 7); !errors.Is(err, ErrBadReport) {
+		t.Fatal("forged MAC verified")
+	}
+	// Swapped task digest (honest MAC won't match the message).
+	swapped := rep
+	swapped.TaskDigest = MeasureBytes([]byte("other task"))
+	if err := m.VerifyReport(swapped, boot, swapped.TaskDigest, 7); !errors.Is(err, ErrBadReport) {
+		t.Fatal("swapped digest verified")
+	}
+	// Replayed nonce.
+	if err := m.VerifyReport(rep, boot, task, 8); !errors.Is(err, ErrBadReport) {
+		t.Fatal("stale nonce verified")
+	}
+	// Wrong expected boot digest.
+	if err := m.VerifyReport(rep, MeasureBytes([]byte("evil boot")), task, 7); !errors.Is(err, ErrBadReport) {
+		t.Fatal("wrong boot expectation verified")
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace records simulated execution events (DMA batches,
+// compute tiles, NoC transfers, flushes) and exports them as a
+// Chrome-trace JSON file (chrome://tracing, Perfetto), giving the
+// simulator a profiler-grade timeline view.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the executors.
+const (
+	KindCompute Kind = "compute"
+	KindDMA     Kind = "dma"
+	KindNoC     Kind = "noc"
+	KindFlush   Kind = "flush"
+	KindOther   Kind = "other"
+)
+
+// Event is one timeline span.
+type Event struct {
+	Name  string
+	Kind  Kind
+	Core  int
+	Start sim.Cycle
+	End   sim.Cycle
+}
+
+// Duration is the span length.
+func (e Event) Duration() sim.Cycle { return e.End - e.Start }
+
+// Recorder accumulates events. The zero value is unusable; New
+// returns a ready recorder. A nil *Recorder is safe to record into
+// (no-op), so components can take an optional recorder without
+// nil-checking at every call site.
+type Recorder struct {
+	events []Event
+	cap    int
+}
+
+// New returns a recorder holding at most capacity events (0 =
+// unbounded). Exceeding the cap drops further events rather than
+// growing without bound during long runs.
+func New(capacity int) *Recorder {
+	return &Recorder{cap: capacity}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.cap > 0 && len(r.events) >= r.cap {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len reports the recorded event count.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the events sorted by start cycle.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Totals sums durations per kind.
+func (r *Recorder) Totals() map[Kind]sim.Cycle {
+	out := make(map[Kind]sim.Cycle)
+	if r == nil {
+		return out
+	}
+	for _, e := range r.events {
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// chromeEvent is the Chrome trace-event format's "complete" event.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`  // microseconds; we emit cycles directly
+	Dur  int64  `json:"dur"` // duration in the same unit
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// ExportChrome writes the recorded events in Chrome trace-event JSON.
+// Cycles are emitted as microseconds so a 1 GHz cycle reads as 1 us in
+// the viewer (scale mentally by 1000).
+func (r *Recorder) ExportChrome(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("trace: nil recorder")
+	}
+	evs := r.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, chromeEvent{
+			Name: e.Name,
+			Cat:  string(e.Kind),
+			Ph:   "X",
+			Ts:   int64(e.Start),
+			Dur:  int64(e.Duration()),
+			PID:  1,
+			TID:  e.Core,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderOrdersAndTotals(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "b", Kind: KindCompute, Core: 0, Start: 100, End: 150})
+	r.Record(Event{Name: "a", Kind: KindDMA, Core: 1, Start: 10, End: 40})
+	r.Record(Event{Name: "c", Kind: KindCompute, Core: 0, Start: 150, End: 170})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Name != "a" || evs[2].Name != "c" {
+		t.Fatalf("order = %v", evs)
+	}
+	totals := r.Totals()
+	if totals[KindCompute] != 70 || totals[KindDMA] != 30 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Name: "x", Start: 0, End: 1})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("cap not enforced: %d", r.Len())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Name: "x"}) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+	if len(r.Totals()) != 0 {
+		t.Fatal("nil totals")
+	}
+	if err := r.ExportChrome(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil export succeeded")
+	}
+}
+
+func TestExportChromeFormat(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "matmul", Kind: KindCompute, Core: 3, Start: 5, End: 25})
+	var buf bytes.Buffer
+	if err := r.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	e := doc.TraceEvents[0]
+	if e.Name != "matmul" || e.Cat != "compute" || e.Ph != "X" || e.Ts != 5 || e.Dur != 20 || e.TID != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialization of workload descriptions, so users can feed
+// their own networks to the simulator tools without writing Go:
+//
+//	{
+//	  "name": "my-net",
+//	  "layers": [
+//	    {"name": "conv1",
+//	     "gemms": [{"name": "conv1", "m": 12544, "k": 27, "n": 32}]},
+//	    {"name": "fc",
+//	     "gemms": [{"name": "fc", "m": 1, "k": 1024, "n": 10}]}
+//	  ]
+//	}
+
+type jsonGEMM struct {
+	Name       string  `json:"name"`
+	M          int     `json:"m"`
+	K          int     `json:"k"`
+	N          int     `json:"n"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+}
+
+type jsonLayer struct {
+	Name  string     `json:"name"`
+	GEMMs []jsonGEMM `json:"gemms"`
+}
+
+type jsonWorkload struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// MarshalJSONWorkload serializes a workload.
+func MarshalJSONWorkload(w Workload) ([]byte, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	jw := jsonWorkload{Name: w.Name}
+	for _, l := range w.Layers {
+		jl := jsonLayer{Name: l.Name}
+		for _, g := range l.GEMMs {
+			jl.GEMMs = append(jl.GEMMs, jsonGEMM{
+				Name: g.Name, M: g.M, K: g.K, N: g.N, Efficiency: g.Efficiency,
+			})
+		}
+		jw.Layers = append(jw.Layers, jl)
+	}
+	return json.MarshalIndent(jw, "", "  ")
+}
+
+// ReadJSONWorkload parses and validates a workload description from r.
+// Unknown fields are rejected so typos surface instead of silently
+// describing a different network.
+func ReadJSONWorkload(r io.Reader) (Workload, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jw jsonWorkload
+	if err := dec.Decode(&jw); err != nil {
+		return Workload{}, fmt.Errorf("workload: parsing JSON: %w", err)
+	}
+	w := Workload{Name: jw.Name}
+	for _, jl := range jw.Layers {
+		l := Layer{Name: jl.Name}
+		for _, jg := range jl.GEMMs {
+			l.GEMMs = append(l.GEMMs, GEMM{
+				Name: jg.Name, M: jg.M, K: jg.K, N: jg.N, Efficiency: jg.Efficiency,
+			})
+		}
+		w.Layers = append(w.Layers, l)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := MobileNet()
+	buf, err := MarshalJSONWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONWorkload(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || len(got.Layers) != len(w.Layers) {
+		t.Fatalf("structure mismatch: %s %d", got.Name, len(got.Layers))
+	}
+	if got.MACs() != w.MACs() {
+		t.Fatalf("MACs %d vs %d", got.MACs(), w.MACs())
+	}
+	// Efficiency (dwconv penalty) survives the round trip.
+	if got.Layers[1].GEMMs[0].Eff() != w.Layers[1].GEMMs[0].Eff() {
+		t.Fatal("efficiency lost")
+	}
+}
+
+func TestReadJSONWorkloadValidates(t *testing.T) {
+	// Structurally fine JSON but invalid network (zero dim).
+	bad := `{"name":"x","layers":[{"name":"l","gemms":[{"name":"g","m":0,"k":1,"n":1}]}]}`
+	if _, err := ReadJSONWorkload(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid network parsed")
+	}
+	// Unknown field rejected.
+	typo := `{"name":"x","layerz":[]}`
+	if _, err := ReadJSONWorkload(strings.NewReader(typo)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Garbage rejected.
+	if _, err := ReadJSONWorkload(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	if _, err := MarshalJSONWorkload(Workload{Name: "empty"}); err == nil {
+		t.Fatal("invalid workload marshaled")
+	}
+}

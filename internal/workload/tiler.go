@@ -1,0 +1,159 @@
+package workload
+
+import "fmt"
+
+// Tiling maps one GEMM onto the NPU: tile sizes for each dimension,
+// chosen so a double-buffered A tile, B tile, and C tile fit the
+// scratchpad budget, minimizing DRAM traffic.
+//
+// Traffic model for the canonical loop nest (for mi { for ni { for ki
+// { load A(mi,ki); load B(ki,ni); compute } store C(mi,ni) } }): the A
+// matrix is streamed once per column-tile pass (ceil(N/Nt) reloads),
+// the B matrix once per row-tile pass (ceil(M/Mt) reloads), and C is
+// written once. Shrinking the scratchpad shrinks the tiles, raising
+// the reload factors — that is the spad-size sensitivity Fig. 15
+// measures.
+type Tiling struct {
+	G          GEMM
+	Mt, Kt, Nt int
+	// SpadBytes is the budget the tiling was chosen under.
+	SpadBytes int
+}
+
+// ceilDiv rounds up.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// roundUp rounds n up to a multiple of q (n > 0).
+func roundUp(n, q int) int { return ceilDiv(n, q) * q }
+
+// ChooseTiling picks tile sizes for g under spadBytes of scratchpad,
+// on a systolic array of the given dimension. Tiles are multiples of
+// dim (clamped to the problem size). It searches Mt x Nt candidates
+// with a bounded Kt and keeps the minimum-traffic choice.
+func ChooseTiling(g GEMM, spadBytes, dim int) (Tiling, error) {
+	if err := g.Validate(); err != nil {
+		return Tiling{}, err
+	}
+	if spadBytes <= 0 || dim <= 0 {
+		return Tiling{}, fmt.Errorf("workload: invalid tiling budget %d / dim %d", spadBytes, dim)
+	}
+	// Dimensions rounded to the array size for candidate generation.
+	maxM := roundUp(g.M, dim)
+	maxN := roundUp(g.N, dim)
+	maxK := roundUp(g.K, dim)
+
+	best := Tiling{}
+	var bestTraffic int64 = -1
+	// Kt candidates: powers-of-two multiples of dim, plus full K.
+	ktCands := []int{}
+	for kt := dim; kt < maxK; kt *= 2 {
+		ktCands = append(ktCands, kt)
+	}
+	ktCands = append(ktCands, maxK)
+
+	// The output tile accumulates in the accumulator SRAM (a quarter
+	// of the scratchpad capacity, holding 32-bit partial sums), which
+	// bounds Mt*Nt independently of the input/weight buffers.
+	const accPartialBytes = 4
+	maxAccElems := (spadBytes / 4) / accPartialBytes
+	for _, kt := range ktCands {
+		for mt := dim; mt <= maxM; mt *= 2 {
+			// Largest Nt fitting the budget with double buffering of the
+			// A and B streams plus a single-buffered C tile.
+			// budget >= 2*(mt*kt + kt*nt) + mt*nt
+			rem := spadBytes/ElemBytes - 2*mt*kt
+			if rem <= 0 {
+				continue
+			}
+			nt := rem / (2*kt + mt)
+			if accLimit := maxAccElems / mt; nt > accLimit {
+				nt = accLimit
+			}
+			if nt < dim {
+				continue
+			}
+			nt = (nt / dim) * dim
+			if nt > maxN {
+				nt = maxN
+			}
+			cand := Tiling{G: g, Mt: min(mt, maxM), Kt: min(kt, maxK), Nt: nt, SpadBytes: spadBytes}
+			traffic := cand.DRAMTrafficBytes()
+			if bestTraffic < 0 || traffic < bestTraffic {
+				bestTraffic = traffic
+				best = cand
+			}
+		}
+	}
+	if bestTraffic < 0 {
+		// Degenerate budget: fall back to single-array tiles. The NPU
+		// still runs, just with maximal reload traffic.
+		best = Tiling{G: g, Mt: dim, Kt: dim, Nt: dim, SpadBytes: spadBytes}
+	}
+	return best, nil
+}
+
+// Counts reports the tile-loop trip counts (mi, ki, ni).
+func (t Tiling) Counts() (mc, kc, nc int) {
+	return ceilDiv(t.G.M, t.Mt), ceilDiv(t.G.K, t.Kt), ceilDiv(t.G.N, t.Nt)
+}
+
+// Iterations is the total tile-loop trip count.
+func (t Tiling) Iterations() int {
+	mc, kc, nc := t.Counts()
+	return mc * kc * nc
+}
+
+// DRAMTrafficBytes is the total DRAM traffic the tiling induces.
+func (t Tiling) DRAMTrafficBytes() int64 {
+	mc, _, nc := t.Counts()
+	aTraffic := t.G.InputBytes() * int64(nc)
+	bTraffic := t.G.WeightBytes() * int64(mc)
+	cTraffic := t.G.OutputBytes()
+	return aTraffic + bTraffic + cTraffic
+}
+
+// ComputeCycles is the systolic-array time for the whole GEMM on a
+// dim x dim array: each (Mt,Kt,Nt) tile costs
+// ceil(Mt/dim)*ceil(Nt/dim) passes of (Kt + 2*dim) cycles (stream K,
+// plus fill/drain), scaled by the shape efficiency.
+func (t Tiling) ComputeCycles(dim int) int64 {
+	mc, kc, nc := t.Counts()
+	var total int64
+	// Interior tiles are full-size; edges are remainders. Compute the
+	// exact sum using per-axis tile size lists.
+	sizes := func(total, tile, count int) []int {
+		out := make([]int, count)
+		for i := range out {
+			s := tile
+			if i == count-1 {
+				s = total - tile*(count-1)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	ms := sizes(t.G.M, t.Mt, mc)
+	ks := sizes(t.G.K, t.Kt, kc)
+	ns := sizes(t.G.N, t.Nt, nc)
+	for _, m := range ms {
+		for _, n := range ns {
+			passes := int64(ceilDiv(m, dim)) * int64(ceilDiv(n, dim))
+			for _, k := range ks {
+				total += passes * int64(k+2*dim)
+			}
+		}
+	}
+	return int64(float64(total) / t.G.Eff())
+}
+
+// IdealComputeCycles is the lower bound at peak MACs/cycle (dim^2).
+func IdealComputeCycles(g GEMM, dim int) int64 {
+	return g.MACs() / int64(dim*dim)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+// Package xlate defines the memory access-control interface sitting in
+// front of the NPU's DMA engine. Three implementations exist in this
+// repository, matching the paper's comparative systems:
+//
+//   - identity (here): the unprotected "Normal NPU" baseline,
+//   - internal/iommu: the "TrustZone NPU" baseline — an sMMU/IOMMU with
+//     an IOTLB, page walks, and a TrustZone S/NS bit,
+//   - internal/guarder: the paper's NPU Guarder — tile-granular
+//     translation registers plus coarse checking registers, one check
+//     per DMA request.
+package xlate
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// PacketBytes is the fixed memory-packet size a DMA request is split
+// into on the bus (§IV-A: "e.g., 64 bytes"). IOMMU-style translators
+// pay one lookup per packet; the Guarder pays one per request.
+const PacketBytes = 64
+
+// Request is one DMA request: a contiguous virtual range with the
+// needed permission, issued on behalf of a task running in a world.
+type Request struct {
+	VA    mem.VirtAddr
+	Bytes uint64
+	Need  mem.Perm
+	World mem.World
+	// TaskID identifies the NPU context issuing the request; the IOMMU
+	// uses it to detect address-space switches (IOTLB ping-pong).
+	TaskID int
+}
+
+// Packets reports how many fixed-size memory packets the request
+// occupies on the bus.
+func (r Request) Packets() uint64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return (r.Bytes + PacketBytes - 1) / PacketBytes
+}
+
+// Result carries the translated physical base and the pipeline stall
+// the translation inflicted (page walks, register reload, ...).
+type Result struct {
+	PA    mem.PhysAddr
+	Stall sim.Cycle
+}
+
+// Translator is the access-control unit in front of the DMA engine.
+type Translator interface {
+	// Name identifies the mechanism in stats and experiment tables.
+	Name() string
+	// Translate maps and permission-checks one DMA request at cycle
+	// `at`. A denial returns a non-nil error; the DMA engine drops the
+	// request (and the simulated task faults).
+	Translate(req Request, at sim.Cycle) (Result, error)
+	// OnContextSwitch notifies the unit that the NPU switched to a
+	// different task context (the IOMMU flushes its IOTLB; the Guarder
+	// has its registers reprogrammed by the monitor at negligible cost).
+	OnContextSwitch(taskID int)
+}
+
+// Identity is the unprotected baseline: VA==PA, every access allowed,
+// no stalls, no per-packet work.
+type Identity struct {
+	stats *sim.Stats
+}
+
+// NewIdentity returns the pass-through translator.
+func NewIdentity(stats *sim.Stats) *Identity { return &Identity{stats: stats} }
+
+// Name implements Translator.
+func (i *Identity) Name() string { return "none" }
+
+// Translate implements Translator: direct mapping, no checking.
+func (i *Identity) Translate(req Request, at sim.Cycle) (Result, error) {
+	return Result{PA: mem.PhysAddr(req.VA)}, nil
+}
+
+// OnContextSwitch implements Translator (no state to switch).
+func (i *Identity) OnContextSwitch(taskID int) {}

@@ -1,0 +1,35 @@
+package xlate
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestRequestPackets(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		want  uint64
+	}{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {4096, 64}}
+	for _, c := range cases {
+		if got := (Request{Bytes: c.bytes}).Packets(); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestIdentityPassThrough(t *testing.T) {
+	id := NewIdentity(sim.NewStats())
+	if id.Name() != "none" {
+		t.Fatal("name")
+	}
+	res, err := id.Translate(Request{VA: 0x1234, Bytes: 64, Need: mem.PermRW, World: mem.Normal}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != 0x1234 || res.Stall != 0 {
+		t.Fatalf("identity result %+v", res)
+	}
+	id.OnContextSwitch(5) // must be a no-op
+}
