@@ -8,6 +8,11 @@
 //	                           # fig14, fig15, fig16, fig17, fig18, tcb
 //	snpu-bench -models alexnet,yololite
 //	snpu-bench -markdown       # wrap tables for EXPERIMENTS.md
+//	snpu-bench -exp chaos -seed 7
+//
+// -seed (default 1) drives everything randomized: the chaos
+// experiment's fault plans and its sealing key. The same seed always
+// reproduces byte-identical tables.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	snpu "repro"
 	"repro/internal/experiments"
 	"repro/internal/hwcost"
 	"repro/internal/npu"
@@ -23,10 +29,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, chaos)")
 	modelsFlag := flag.String("models", "", "comma-separated model subset (default: all six)")
 	markdown := flag.Bool("markdown", false, "emit fenced code blocks with headings")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	seed := flag.Int64("seed", 1, "seed for randomized experiments (chaos); same seed = identical output")
 	flag.Parse()
 
 	out := os.Stdout
@@ -147,6 +154,19 @@ func main() {
 			}
 			section("Ablation — "+res.Name, res.TableString())
 		}
+	}
+	if want("chaos") {
+		ran = true
+		model := "yololite"
+		if len(models) > 0 {
+			model = models[0].Name
+		}
+		res, err := snpu.Chaos(model, *seed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		section(fmt.Sprintf("Chaos — seeded fault injection + recovery (%s, seed %d; beyond-paper)", res.Model, res.Seed),
+			res.TableString())
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -7,15 +7,23 @@
 //	snpu-sim -model bert -baseline             # unprotected baseline
 //	snpu-sim -model alexnet -secure            # through the NPU Monitor
 //	snpu-sim -model googlenet -counters        # dump stat counters
+//	snpu-sim -model yololite -secure -faults plan.json -seed 3
+//
+// -seed (default 1) makes every run reproducible: it derives the
+// secure-task sealing key and is echoed into fault plans, so the same
+// seed and flags always produce identical output. -faults installs a
+// fault plan (see internal/fault; generate one with fault.Generate or
+// write the JSON by hand); a secure run with faults goes through the
+// Monitor's recovery path and reports what it had to do.
 package main
 
 import (
-	"crypto/rand"
 	"flag"
 	"fmt"
 	"os"
 
 	snpu "repro"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -26,6 +34,8 @@ func main() {
 	counters := flag.Bool("counters", false, "dump hardware counters after the run")
 	traceOut := flag.String("trace", "", "write a Chrome-trace JSON timeline to this file")
 	modelFile := flag.String("model-file", "", "run a custom workload described in this JSON file")
+	faultsFile := flag.String("faults", "", "install the fault plan in this JSON file before running")
+	seed := flag.Int64("seed", 1, "deterministic seed for sealing-key derivation; same seed = identical run")
 	flag.Parse()
 
 	cfg := snpu.DefaultConfig()
@@ -35,6 +45,23 @@ func main() {
 	sys, err := snpu.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	var plan fault.Plan
+	if *faultsFile != "" {
+		if *baseline || *traceOut != "" || *modelFile != "" {
+			fatal(fmt.Errorf("-faults supports the protected run only (no -baseline, -trace, -model-file)"))
+		}
+		f, err := os.Open(*faultsFile)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = fault.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sys.InstallFaultPlan(plan)
 	}
 
 	var res snpu.InferenceResult
@@ -80,10 +107,7 @@ func main() {
 		if *baseline {
 			fatal(fmt.Errorf("the baseline NPU has no monitor; drop -baseline"))
 		}
-		key := make([]byte, snpu.SealKeySize)
-		if _, err := rand.Read(key); err != nil {
-			fatal(err)
-		}
+		key := snpu.ChaosKey(*seed)
 		if err := sys.ProvisionKey("cli-owner", key); err != nil {
 			fatal(err)
 		}
@@ -94,6 +118,23 @@ func main() {
 		handle, err := sys.SubmitSecure(*model, "cli-owner", sealed)
 		if err != nil {
 			fatal(err)
+		}
+		if *faultsFile != "" {
+			rep, err := sys.RunSecureResilient(handle, snpu.DefaultMaxRestarts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snpu-sim: %v (faults fired: %d, restarts: %d, remaps: %d)\n",
+					err, rep.Faults, rep.Restarts, rep.Remaps)
+				os.Exit(1)
+			}
+			res = rep.InferenceResult
+			printResult(res, "secure (via NPU Monitor, resilient)")
+			fmt.Printf("fault plan:   %d scheduled, %d fired, %d restarts, %d remaps\n",
+				len(plan.Events), rep.Faults, rep.Restarts, rep.Remaps)
+			if *counters {
+				fmt.Println("\nhardware counters:")
+				fmt.Print(sys.Stats().String())
+			}
+			return
 		}
 		res, err = sys.RunSecure(handle)
 		if err != nil {

@@ -3,12 +3,17 @@
 // vulnerabilities are real) and the sNPU mechanisms (where each is
 // denied by hardware).
 //
+// The exit status is the verdict: 0 when every attack leaks on the
+// baseline and is blocked by sNPU, non-zero when any outcome deviates
+// — so the example doubles as a security smoke test in CI.
+//
 //	go run ./examples/attacks
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/attack"
 )
@@ -52,6 +57,12 @@ func main() {
 		},
 	}
 
+	deviations := 0
+	deviate := func(name, what string) {
+		deviations++
+		fmt.Printf("  !! DEVIATION: %s — %s\n", name, what)
+	}
+
 	fmt.Println("attack                baseline NPU          sNPU")
 	fmt.Println("--------------------  --------------------  --------------------")
 	for _, s := range scenarios {
@@ -64,6 +75,12 @@ func main() {
 			log.Fatalf("%s (sNPU): %v", s.name, err)
 		}
 		fmt.Printf("%-20s  %-20s  %-20s\n", s.name, verdict(base), verdict(prot))
+		if !base.Leaked {
+			deviate(s.name, "baseline did not leak (vulnerability no longer demonstrated)")
+		}
+		if !prot.Blocked || prot.Leaked {
+			deviate(s.name, "sNPU did not block the attack")
+		}
 		fmt.Printf("  -> %s\n", s.what)
 		if base.Leaked {
 			fmt.Printf("  -> baseline leaked %d bytes: %q\n", len(base.Got), base.Got)
@@ -83,6 +100,14 @@ func main() {
 	fmt.Printf("%-20s  %-20s  %-20s\n", "driver tamper", "n/a (state absent)", verdict(out))
 	fmt.Println("  -> untrusted driver programs Guarder registers / core ID state directly")
 	fmt.Printf("  -> sNPU denial: %v\n", out.Err)
+	if !out.Blocked || out.Leaked {
+		deviate("driver tamper", "sNPU did not block the tamper")
+	}
+
+	if deviations > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d outcome(s) deviated from the expected leak/block pattern\n", deviations)
+		os.Exit(1)
+	}
 }
 
 func verdict(o attack.Outcome) string {

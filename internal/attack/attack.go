@@ -24,6 +24,7 @@ import (
 	"errors"
 
 	"repro/internal/dma"
+	"repro/internal/fault"
 	"repro/internal/guarder"
 	"repro/internal/isolator"
 	"repro/internal/mem"
@@ -33,6 +34,25 @@ import (
 	"repro/internal/tee"
 	"repro/internal/xlate"
 )
+
+// faultPlan, when set, arms every scenario's hardware with a fresh
+// fault injector. The fault-safety property test uses it to show that
+// no injected fault sequence turns a blocked attack into a leak.
+var faultPlan *fault.Plan
+
+// SetFaultPlan arms (nil disarms) all subsequently-run scenarios with
+// the plan. Each scenario builds a fresh injector, so one plan replays
+// identically across scenarios.
+func SetFaultPlan(p *fault.Plan) { faultPlan = p }
+
+// armInjector builds the per-scenario injector (nil when disarmed —
+// components treat a nil injector as absent).
+func armInjector(stats *sim.Stats) *fault.Injector {
+	if faultPlan == nil {
+		return nil
+	}
+	return fault.NewInjector(*faultPlan, stats)
+}
 
 // Outcome reports one attack attempt.
 type Outcome struct {
@@ -53,10 +73,12 @@ var secret = []byte("victim-model-w8s")
 // attacker (non-secure) then reads the same lines without writing
 // first — exactly the LeftoverLocals PoC recipe.
 func LeftoverLocals(isolated bool) (Outcome, error) {
-	sp, err := spad.New(spad.Config{Lines: 32, LineBytes: 16, Kind: spad.Exclusive, Isolated: isolated}, sim.NewStats())
+	stats := sim.NewStats()
+	sp, err := spad.New(spad.Config{Lines: 32, LineBytes: 16, Kind: spad.Exclusive, Isolated: isolated, Parity: isolated}, stats)
 	if err != nil {
 		return Outcome{}, err
 	}
+	sp.AttachInjector(armInjector(stats))
 	if err := sp.Write(spad.SecureDomain, 7, secret); err != nil {
 		return Outcome{}, err
 	}
@@ -73,10 +95,12 @@ func LeftoverLocals(isolated bool) (Outcome, error) {
 // holds lines in the shared accumulator while still running; the
 // attacker on another core reads them concurrently.
 func SharedSpadSteal(isolated bool) (Outcome, error) {
-	sp, err := spad.New(spad.Config{Lines: 32, LineBytes: 16, Kind: spad.Shared, Isolated: isolated}, sim.NewStats())
+	stats := sim.NewStats()
+	sp, err := spad.New(spad.Config{Lines: 32, LineBytes: 16, Kind: spad.Shared, Isolated: isolated, Parity: isolated}, stats)
 	if err != nil {
 		return Outcome{}, err
 	}
+	sp.AttachInjector(armInjector(stats))
 	if err := sp.Write(spad.SecureDomain, 3, secret); err != nil {
 		return Outcome{}, err
 	}
@@ -98,6 +122,7 @@ func NoCHijack(peephole bool) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	mesh.AttachInjector(armInjector(stats))
 	ids := map[noc.Coord]spad.DomainID{
 		{X: 0, Y: 0}: spad.SecureDomain, // victim producer
 		{X: 1, Y: 0}: spad.NonSecure,    // attacker squatting on the consumer slot
@@ -128,6 +153,7 @@ func NoCInject(peephole bool) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	mesh.AttachInjector(armInjector(stats))
 	ids := map[noc.Coord]spad.DomainID{
 		{X: 0, Y: 0}: spad.NonSecure,    // attacker
 		{X: 1, Y: 1}: spad.SecureDomain, // victim consumer
@@ -168,10 +194,11 @@ func DMAExfiltrate(protect bool) (Outcome, error) {
 	// The CPU-side TEE placed facial-feature data in secure memory.
 	phys.Write(0x9000_0040, secret)
 
-	sp, err := spad.New(spad.Config{Lines: 16, LineBytes: 16, Kind: spad.Exclusive, Isolated: protect}, stats)
+	sp, err := spad.New(spad.Config{Lines: 16, LineBytes: 16, Kind: spad.Exclusive, Isolated: protect, Parity: protect}, stats)
 	if err != nil {
 		return Outcome{}, err
 	}
+	sp.AttachInjector(armInjector(stats))
 	var xl xlate.Translator
 	if protect {
 		g := guarder.NewDefault(stats)
@@ -192,6 +219,10 @@ func DMAExfiltrate(protect bool) (Outcome, error) {
 		xl = xlate.NewIdentity(stats)
 	}
 	eng := dma.New(dma.DefaultConfig(), xl, sim.NewResource("dram"), phys, stats)
+	eng.AttachInjector(armInjector(stats))
+	if protect {
+		phys.EnableECC(stats)
+	}
 	va := mem.VirtAddr(0x5000 + 0x40)
 	if !protect {
 		va = 0x9000_0040

@@ -1,0 +1,70 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The fault-safety invariant: no injected fault sequence may turn a
+// blocked attack into a leak. Every scenario is replayed against the
+// protected configuration under dense seeded fault plans; an error is
+// as good as a block (fail closed), but Leaked must never be true.
+func TestNoFaultSequenceBreaksIsolation(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(bool) (Outcome, error)
+	}{
+		{"LeftoverLocals", LeftoverLocals},
+		{"SharedSpadSteal", SharedSpadSteal},
+		{"NoCHijack", NoCHijack},
+		{"NoCInject", NoCInject},
+		{"DMAExfiltrate", DMAExfiltrate},
+		{"RouteIntegrity", RouteIntegrity},
+	}
+	defer SetFaultPlan(nil)
+
+	for seed := int64(1); seed <= 32; seed++ {
+		plan := fault.Generate(seed, 10_000, fault.UniformRates(20_000))
+		// Attack hardware acts within a handful of cycles, so make the
+		// whole schedule due immediately — the most adversarial timing.
+		for i := range plan.Events {
+			plan.Events[i].At = 0
+		}
+		SetFaultPlan(&plan)
+		for _, s := range scenarios {
+			out, err := s.run(true)
+			if err != nil {
+				// The scenario machinery itself failed closed (dropped
+				// packet, dead link, stalled DMA): no leak, move on.
+				continue
+			}
+			if out.Leaked {
+				t.Fatalf("seed %d: %s leaked under faults (%d events)", seed, s.name, len(plan.Events))
+			}
+		}
+	}
+
+	// DriverTamper has no protected/baseline switch; replay it too.
+	for seed := int64(1); seed <= 4; seed++ {
+		plan := fault.Generate(seed, 1_000, fault.UniformRates(20_000))
+		SetFaultPlan(&plan)
+		out, err := DriverTamper()
+		if err == nil && out.Leaked {
+			t.Fatalf("seed %d: DriverTamper leaked under faults", seed)
+		}
+	}
+}
+
+// The baseline attacks must still demonstrate their leaks with the
+// plan disarmed — guard against SetFaultPlan leaking across tests.
+func TestFaultPlanDisarmRestoresBaseline(t *testing.T) {
+	SetFaultPlan(nil)
+	out, err := LeftoverLocals(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Leaked {
+		t.Fatal("baseline attack no longer leaks after disarm")
+	}
+}

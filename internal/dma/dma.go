@@ -12,14 +12,21 @@
 package dma
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/xlate"
 )
+
+// ErrStalled is returned when a request stalls past the watchdog's
+// retry budget — the engine reports the request dead rather than
+// hanging the core forever.
+var ErrStalled = errors.New("dma: request stalled beyond watchdog retry limit")
 
 // Direction of a transfer.
 type Direction uint8
@@ -45,11 +52,17 @@ type Config struct {
 	BytesPerCycle uint64
 	// RequestLatency is the fixed DRAM access latency per request.
 	RequestLatency sim.Cycle
+	// WatchdogCycles is how long a stalled request waits before the
+	// watchdog fires and the engine reissues it (0 = default 2000).
+	WatchdogCycles sim.Cycle
+	// RetryLimit bounds watchdog-driven reissues per request
+	// (0 = default 3); past it the request fails with ErrStalled.
+	RetryLimit int
 }
 
 // DefaultConfig matches the paper's SoC (Table II).
 func DefaultConfig() Config {
-	return Config{BytesPerCycle: 16, RequestLatency: 100}
+	return Config{BytesPerCycle: 16, RequestLatency: 100, WatchdogCycles: 2000, RetryLimit: 3}
 }
 
 // Request describes one DMA transfer of a contiguous region.
@@ -78,15 +91,26 @@ type Engine struct {
 	phys  *mem.Physical
 	stats *sim.Stats
 	l2    *cache.L2 // optional shared L2 in front of DRAM
+	inj   *fault.Injector
 }
 
 // AttachL2 routes this engine's traffic through a shared L2: hits are
 // served by the cache banks, only misses claim the DRAM channel.
 func (e *Engine) AttachL2(l2 *cache.L2) { e.l2 = l2 }
 
+// AttachInjector points the engine at a fault injector; DRAM bit-flip
+// and stall events land on the next request at/after their cycle.
+func (e *Engine) AttachInjector(inj *fault.Injector) { e.inj = inj }
+
 // New wires a DMA engine to its translator, the shared DRAM channel,
 // and physical memory (used only by functional transfers).
 func New(cfg Config, xl xlate.Translator, channel *sim.Resource, phys *mem.Physical, stats *sim.Stats) *Engine {
+	if cfg.WatchdogCycles <= 0 {
+		cfg.WatchdogCycles = 2000
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 3
+	}
 	return &Engine{cfg: cfg, xl: xl, chan_: channel, phys: phys, stats: stats}
 }
 
@@ -130,7 +154,16 @@ func (e *Engine) Do(req Request, sp *spad.Scratchpad, domain spad.DomainID, at s
 	// The translator's stall delays issue; then the L2 (if attached)
 	// serves hits from its banks while misses pay the channel.
 	issue := at + res.Stall
+	issue, err = e.applyStalls(issue)
+	if err != nil {
+		return 0, err
+	}
+	e.injectDRAMFaults(res.PA, req.Bytes, issue)
 	done := e.serveBytes(res.PA, req.Bytes, issue)
+	done, err = e.scrub(res.PA, req.Bytes, done)
+	if err != nil {
+		return 0, err
+	}
 
 	if req.Functional && sp != nil {
 		if err := e.moveBytes(req, res.PA, sp, domain); err != nil {
@@ -138,6 +171,67 @@ func (e *Engine) Do(req Request, sp *spad.Scratchpad, domain spad.DomainID, at s
 		}
 	}
 	return done, nil
+}
+
+// applyStalls consumes due DMA-stall events. Each one freezes the
+// request until the engine's watchdog fires, then reissues it with a
+// doubled (capped) backoff; past RetryLimit the request fails closed.
+func (e *Engine) applyStalls(issue sim.Cycle) (sim.Cycle, error) {
+	if !e.inj.Enabled() {
+		return issue, nil
+	}
+	backoff := e.cfg.WatchdogCycles
+	for attempt := 0; ; attempt++ {
+		if _, ok := e.inj.Take(fault.DMAStall, issue); !ok {
+			return issue, nil
+		}
+		if e.stats != nil {
+			e.stats.Inc(sim.CtrDMATimeouts)
+		}
+		if attempt >= e.cfg.RetryLimit {
+			return 0, ErrStalled
+		}
+		if e.stats != nil {
+			e.stats.Inc(sim.CtrDMARetries)
+		}
+		issue += backoff
+		if backoff < e.cfg.WatchdogCycles*8 {
+			backoff *= 2
+		}
+	}
+}
+
+// injectDRAMFaults lands due DRAM bit-flip events on a word inside the
+// range this request touches.
+func (e *Engine) injectDRAMFaults(pa mem.PhysAddr, bytes uint64, now sim.Cycle) {
+	if !e.inj.Enabled() || e.phys == nil {
+		return
+	}
+	for {
+		ev, ok := e.inj.Take(fault.DRAMBitFlip, now)
+		if !ok {
+			return
+		}
+		words := int(bytes / 8)
+		if words < 1 {
+			words = 1
+		}
+		e.phys.InjectBitFlip(pa+mem.PhysAddr(ev.Pick(words)*8), ev.Bit)
+	}
+}
+
+// scrub runs the memory controller's ECC pass over the request's
+// range: corrected words add the correction turnaround to the
+// completion cycle, an uncorrectable word fails the request closed.
+func (e *Engine) scrub(pa mem.PhysAddr, bytes uint64, done sim.Cycle) (sim.Cycle, error) {
+	if e.phys == nil {
+		return done, nil
+	}
+	corrected, err := e.phys.Scrub(pa, bytes)
+	if err != nil {
+		return 0, fmt.Errorf("dma: %w", err)
+	}
+	return done + sim.Cycle(corrected)*mem.ECCCorrectionCycles, nil
 }
 
 // DoPipelined issues a batch of requests back-to-back, the way the
@@ -174,7 +268,16 @@ func (e *Engine) DoPipelined(reqs []Request, sp *spad.Scratchpad, domain spad.Do
 			e.stats.Add(sim.CtrDRAMBytes, int64(req.Bytes))
 		}
 		issue += res.Stall
+		issue, err = e.applyStalls(issue)
+		if err != nil {
+			return 0, err
+		}
+		e.injectDRAMFaults(res.PA, req.Bytes, issue)
 		end, start := e.serveBytesPipelined(res.PA, req.Bytes, issue)
+		end, err = e.scrub(res.PA, req.Bytes, end)
+		if err != nil {
+			return 0, err
+		}
 		if end > lastEnd {
 			lastEnd = end
 		}

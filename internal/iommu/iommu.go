@@ -3,6 +3,7 @@ package iommu
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/xlate"
@@ -24,6 +25,10 @@ type Config struct {
 	// streams coexist without flushing (modern sMMU stream IDs);
 	// capacity contention between the streams remains.
 	TagWithASID bool
+	// NoParity disables IOTLB entry parity. Parity is on by default:
+	// it is timing-invisible until an entry is actually corrupted, and
+	// without it a flipped PPN silently misdirects DMA.
+	NoParity bool
 }
 
 // DefaultConfig mirrors the paper's TrustZone-NPU setup.
@@ -44,6 +49,7 @@ type IOMMU struct {
 	table   *PageTable
 	tlb     *IOTLB
 	stats   *sim.Stats
+	inj     *fault.Injector
 	curTask int
 	// WalkStallCycles accumulates total stall for reporting.
 	WalkStallCycles sim.Cycle
@@ -51,14 +57,23 @@ type IOMMU struct {
 
 // New builds an IOMMU over its IO page table.
 func New(cfg Config, stats *sim.Stats) *IOMMU {
-	return &IOMMU{
+	u := &IOMMU{
 		cfg:     cfg,
 		table:   NewPageTable(),
 		tlb:     NewIOTLB(cfg.IOTLBEntries),
 		stats:   stats,
 		curTask: -1,
 	}
+	u.tlb.stats = stats
+	if !cfg.NoParity {
+		u.tlb.EnableParity()
+	}
+	return u
 }
+
+// AttachInjector points the IOMMU at a fault injector; IOTLB
+// corruption events land on the next translation at/after their cycle.
+func (u *IOMMU) AttachInjector(inj *fault.Injector) { u.inj = inj }
 
 // Table exposes the IO page table so the (untrusted) driver can map
 // DMA buffers, and the TEE path can install secure mappings.
@@ -96,6 +111,15 @@ func (u *IOMMU) OnContextSwitch(taskID int) {
 func (u *IOMMU) Translate(req xlate.Request, at sim.Cycle) (xlate.Result, error) {
 	if req.Bytes == 0 {
 		return xlate.Result{}, fmt.Errorf("iommu: empty request")
+	}
+	if u.inj.Enabled() {
+		for {
+			ev, ok := u.inj.Take(fault.IOTLBCorrupt, at)
+			if !ok {
+				break
+			}
+			u.tlb.Corrupt(ev.Sel, ev.Bit)
+		}
 	}
 	firstPage := mem.PageAlignDown(mem.PhysAddr(req.VA))
 	lastPage := mem.PageAlignDown(mem.PhysAddr(uint64(req.VA) + req.Bytes - 1))

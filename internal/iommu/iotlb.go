@@ -1,6 +1,9 @@
 package iommu
 
-import "repro/internal/mem"
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
 
 // IOTLBEntry caches one translation. ASID tags the owning address
 // space (stream ID) so entries from different tasks can coexist; an
@@ -11,6 +14,7 @@ type IOTLBEntry struct {
 	PTE    PTE
 	valid  bool
 	lastAt uint64 // LRU timestamp
+	parity uint8  // stamped at fill when parity protection is on
 }
 
 // IOTLB is a fully-associative translation cache with true-LRU
@@ -19,11 +23,14 @@ type IOTLBEntry struct {
 type IOTLB struct {
 	entries []IOTLBEntry
 	tick    uint64
+	parity  bool
+	stats   *sim.Stats
 
-	Lookups uint64
-	Hits    uint64
-	Misses  uint64
-	Flushes uint64
+	Lookups      uint64
+	Hits         uint64
+	Misses       uint64
+	Flushes      uint64
+	ParityErrors uint64
 }
 
 // NewIOTLB returns a TLB with n entries.
@@ -31,11 +38,40 @@ func NewIOTLB(n int) *IOTLB {
 	return &IOTLB{entries: make([]IOTLBEntry, n)}
 }
 
+// EnableParity arms per-entry parity: fills stamp a parity byte over
+// the tag and translation, lookups verify it and turn a corrupted
+// entry into a miss (invalidate + re-walk) instead of a silent
+// mistranslation.
+func (t *IOTLB) EnableParity() { t.parity = true }
+
+// ParityEnabled reports whether entry parity is armed.
+func (t *IOTLB) ParityEnabled() bool { return t.parity }
+
 // Size reports the configured entry count.
 func (t *IOTLB) Size() int { return len(t.entries) }
 
+// entryParity folds the protected fields of an entry into one byte.
+func entryParity(vpn uint64, asid int, pte PTE) uint8 {
+	var p uint8
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			p ^= uint8(v >> (8 * i))
+		}
+	}
+	fold(vpn)
+	fold(uint64(asid))
+	fold(pte.PPN)
+	p ^= uint8(pte.Perm)
+	if pte.Secure {
+		p ^= 0x80
+	}
+	return p
+}
+
 // Lookup searches the TLB for the page containing va under the given
-// address-space tag (pass 0 for an untagged TLB).
+// address-space tag (pass 0 for an untagged TLB). A parity-protected
+// entry that fails verification is invalidated and reported as a miss
+// — the caller re-walks the page table, which is the recovery.
 func (t *IOTLB) Lookup(asid int, va mem.VirtAddr) (PTE, bool) {
 	t.tick++
 	t.Lookups++
@@ -43,6 +79,14 @@ func (t *IOTLB) Lookup(asid int, va mem.VirtAddr) (PTE, bool) {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.VPN == vpn && e.ASID == asid {
+			if t.parity && e.parity != entryParity(e.VPN, e.ASID, e.PTE) {
+				e.valid = false
+				t.ParityErrors++
+				if t.stats != nil {
+					t.stats.Inc(sim.CtrIOTLBParityErrors)
+				}
+				break
+			}
 			e.lastAt = t.tick
 			t.Hits++
 			return e.PTE, true
@@ -74,7 +118,34 @@ func (t *IOTLB) Insert(asid int, va mem.VirtAddr, pte PTE) {
 			victim = i
 		}
 	}
-	t.entries[victim] = IOTLBEntry{VPN: vpn, ASID: asid, PTE: pte, valid: true, lastAt: t.tick}
+	t.entries[victim] = IOTLBEntry{
+		VPN: vpn, ASID: asid, PTE: pte, valid: true, lastAt: t.tick,
+		parity: entryParity(vpn, asid, pte),
+	}
+}
+
+// Corrupt flips one bit of a valid entry's physical page number
+// without refreshing its parity — an SRAM upset in the TLB array. The
+// victim entry is chosen deterministically by sel over the valid
+// entries in way order. It reports whether any entry was hit.
+func (t *IOTLB) Corrupt(sel uint64, bit uint8) bool {
+	valid := t.Valid()
+	if valid == 0 {
+		return false
+	}
+	target := int(sel % uint64(valid))
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		if target == 0 {
+			e.PTE.PPN ^= 1 << uint(bit%64)
+			return true
+		}
+		target--
+	}
+	return false
 }
 
 // FlushAll invalidates every entry (on context switch / world switch —

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Every single-bit data flip must decode as corrected, restoring the
+// original word.
+func TestECCCorrectsEverySingleBitFlip(t *testing.T) {
+	words := []uint64{0, ^uint64(0), 0xdeadbeef_cafef00d, 1}
+	for _, w := range words {
+		check := ECCEncode(w)
+		for bit := 0; bit < 64; bit++ {
+			got, status := ECCDecode(w^1<<uint(bit), check)
+			if status != ECCCorrected {
+				t.Fatalf("word %#x bit %d: status %v", w, bit, status)
+			}
+			if got != w {
+				t.Fatalf("word %#x bit %d: corrected to %#x", w, bit, got)
+			}
+		}
+	}
+}
+
+// Every double-bit data flip must be detected, never miscorrected.
+func TestECCDetectsDoubleBitFlips(t *testing.T) {
+	w := uint64(0x0123_4567_89ab_cdef)
+	check := ECCEncode(w)
+	for a := 0; a < 64; a += 7 {
+		for b := a + 1; b < 64; b += 5 {
+			_, status := ECCDecode(w^1<<uint(a)^1<<uint(b), check)
+			if status != ECCDetected {
+				t.Fatalf("bits %d+%d: status %v, want detected", a, b, status)
+			}
+		}
+	}
+}
+
+func TestECCCleanWordIsOK(t *testing.T) {
+	w := uint64(0x55aa_55aa_55aa_55aa)
+	if got, status := ECCDecode(w, ECCEncode(w)); status != ECCOK || got != w {
+		t.Fatalf("clean word: got %#x status %v", got, status)
+	}
+}
+
+func TestScrubCorrectsSingleFlip(t *testing.T) {
+	m := NewPhysical()
+	stats := sim.NewStats()
+	m.EnableECC(stats)
+	const addr PhysAddr = 0x8000_0000
+	m.WriteU64(addr, 0x1111_2222_3333_4444)
+
+	m.InjectBitFlip(addr, 17)
+	if m.ReadU64(addr) == 0x1111_2222_3333_4444 {
+		t.Fatal("flip did not land")
+	}
+	if m.CorruptedWords() != 1 {
+		t.Fatalf("corrupted words = %d", m.CorruptedWords())
+	}
+	corrected, err := m.Scrub(addr, 8)
+	if err != nil || corrected != 1 {
+		t.Fatalf("scrub: corrected=%d err=%v", corrected, err)
+	}
+	if got := m.ReadU64(addr); got != 0x1111_2222_3333_4444 {
+		t.Fatalf("word after scrub = %#x", got)
+	}
+	if m.CorruptedWords() != 0 {
+		t.Fatal("fault tracking not cleared after correction")
+	}
+	if stats.Get(sim.CtrECCCorrected) != 1 {
+		t.Fatalf("%s = %d", sim.CtrECCCorrected, stats.Get(sim.CtrECCCorrected))
+	}
+}
+
+func TestScrubFailsClosedOnDoubleFlip(t *testing.T) {
+	m := NewPhysical()
+	stats := sim.NewStats()
+	m.EnableECC(stats)
+	const addr PhysAddr = 0x8000_1000
+	m.WriteU64(addr, 0xfeed_face_dead_beef)
+
+	m.InjectBitFlip(addr, 3)
+	m.InjectBitFlip(addr, 40)
+	_, err := m.Scrub(addr, 8)
+	var eccErr *ECCError
+	if !errors.As(err, &eccErr) {
+		t.Fatalf("scrub err = %v, want ECCError", err)
+	}
+	if eccErr.Addr != addr {
+		t.Fatalf("error addr = %#x", uint64(eccErr.Addr))
+	}
+	if stats.Get(sim.CtrECCUncorrectable) != 1 {
+		t.Fatal("uncorrectable not counted")
+	}
+}
+
+// A full overwrite of a damaged word replaces it with fresh data; the
+// fault entry must not survive to fail a later scrub.
+func TestWriteClearsInjectedDamage(t *testing.T) {
+	m := NewPhysical()
+	m.EnableECC(sim.NewStats())
+	const addr PhysAddr = 0x8000_2000
+	m.WriteU64(addr, 7)
+	m.InjectBitFlip(addr, 0)
+	m.InjectBitFlip(addr, 1) // would be uncorrectable
+	m.WriteU64(addr, 9)      // writer replaces the word
+	if m.CorruptedWords() != 0 {
+		t.Fatal("overwrite left fault tracking")
+	}
+	if corrected, err := m.Scrub(addr, 8); err != nil || corrected != 0 {
+		t.Fatalf("scrub after overwrite: corrected=%d err=%v", corrected, err)
+	}
+}
+
+// With ECC disabled the corruption flows silently: the baseline the
+// chaos experiment compares against.
+func TestScrubWithoutECCIsSilent(t *testing.T) {
+	m := NewPhysical()
+	const addr PhysAddr = 0x8000_3000
+	m.WriteU64(addr, 42)
+	m.InjectBitFlip(addr, 5)
+	if corrected, err := m.Scrub(addr, 8); err != nil || corrected != 0 {
+		t.Fatalf("non-ECC scrub acted: corrected=%d err=%v", corrected, err)
+	}
+	if m.ReadU64(addr) == 42 {
+		t.Fatal("corruption vanished without ECC")
+	}
+}

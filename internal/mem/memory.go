@@ -3,6 +3,8 @@ package mem
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // Region describes a contiguous physical range with an owning world
@@ -46,6 +48,12 @@ func (e *AccessError) Error() string {
 type Physical struct {
 	pages   map[uint64][]byte // page index -> 4KB backing
 	regions []Region          // sorted by Base, non-overlapping
+
+	// SECDED ECC state (ecc.go): corrupted-word tracking plus the
+	// enable flag. Empty unless a fault plan has injected damage.
+	ecc      bool
+	eccStats *sim.Stats
+	faults   map[PhysAddr]*faultyWord
 }
 
 // NewPhysical returns an empty physical memory with no regions.
@@ -150,8 +158,10 @@ func (m *Physical) Read(addr PhysAddr, dst []byte) {
 	}
 }
 
-// Write copies src into memory starting at addr.
+// Write copies src into memory starting at addr. Fresh data replaces
+// any injected damage in fully overwritten words.
 func (m *Physical) Write(addr PhysAddr, src []byte) {
+	m.clearFaults(addr, uint64(len(src)))
 	off := uint64(addr)
 	for len(src) > 0 {
 		pi := off / PageSize

@@ -285,6 +285,69 @@ func (m *Monitor) Unload(taskID int) error {
 	return nil
 }
 
+// Abort is the fail-closed teardown path the recovery machinery takes
+// when a secure task hangs or hits an unrecoverable fault. Everything
+// Unload does, plus: the task's scratchpad and accumulator lines are
+// scrubbed, the decrypted model is zeroed, and the task's secure chunk
+// is wiped before returning to the allocator — no secure state
+// survives the abort, so even a fault at the worst possible moment
+// leaves nothing for the normal world to find. The untrusted driver
+// observes only an opaque "task gone" condition.
+func (m *Monitor) Abort(taskID int) error {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	task, ok := m.tasks[taskID]
+	if !ok {
+		return m.reject(ErrUnknownTask)
+	}
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorAborts)
+	}
+	if task.Loaded {
+		for _, ci := range task.Cores {
+			core, err := m.acc.Core(ci)
+			if err != nil {
+				return m.reject(err)
+			}
+			sp := core.Scratchpad()
+			if err := sp.ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
+				return m.reject(err)
+			}
+			acc := core.Accumulator()
+			if err := acc.ResetSecure(m.ctx, 0, acc.Lines()); err != nil {
+				return m.reject(err)
+			}
+			if err := core.SetDomain(m.ctx, spad.NonSecure); err != nil {
+				return m.reject(err)
+			}
+			if g, ok := m.guarders[ci]; ok {
+				if err := g.ClearTask(m.ctx); err != nil {
+					return m.reject(err)
+				}
+			}
+		}
+	}
+	// Measurement-state teardown: zero the plaintext model and the
+	// task's working chunk before the chunk becomes allocatable again.
+	for i := range task.model {
+		task.model[i] = 0
+	}
+	task.model = nil
+	m.machine.Phys().Zero(task.Chunk, task.ChunkSize)
+	if err := m.alloc.Free(task.Chunk); err != nil {
+		return m.reject(err)
+	}
+	delete(m.tasks, taskID)
+	for i, q := range m.queue {
+		if q.ID == taskID {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // SetupPlatform installs the boot-time platform policy into every
 // core's Guarder checking registers: the normal world may read/write
 // the NPU-reserved region, the secure world additionally the secure

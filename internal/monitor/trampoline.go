@@ -35,6 +35,8 @@ const (
 	// FnSubmitImage submits a serialized task image (Shared carries
 	// the raw taskimage bytes; the monitor decodes them defensively).
 	FnSubmitImage
+	// FnAbort fail-closed-aborts a secure task (scrub + teardown).
+	FnAbort
 )
 
 func (f FuncID) String() string {
@@ -51,6 +53,8 @@ func (f FuncID) String() string {
 		return "map-nonsecure"
 	case FnSubmitImage:
 		return "submit-image"
+	case FnAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("func(%d)", uint32(f))
 	}
@@ -107,6 +111,11 @@ func (m *Monitor) Dispatch(c Call) Reply {
 			return Reply{Err: fmt.Errorf("monitor: unload needs taskID")}
 		}
 		return Reply{Err: m.Unload(int(c.Args[0]))}
+	case FnAbort:
+		if len(c.Args) < 1 {
+			return Reply{Err: fmt.Errorf("monitor: abort needs taskID")}
+		}
+		return Reply{Err: m.Abort(int(c.Args[0]))}
 	case FnQueueLen:
 		return Reply{Value: uint64(m.QueueLen())}
 	case FnMapNonSecure:

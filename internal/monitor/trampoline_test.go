@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/isolator"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/taskimage"
+)
+
+// Every malformed function ID must land in the fail-closed default
+// arm, not in some adjacent handler.
+func TestTrampolineRejectsMalformedFuncIDs(t *testing.T) {
+	w := bootWorld(t)
+	for _, f := range []FuncID{0, FnAbort + 1, FuncID(0xffff_ffff)} {
+		rep := w.mon.Dispatch(Call{Func: f, Args: []uint64{1, 2, 3, 4, 5}})
+		if !errors.Is(rep.Err, ErrBadFunc) {
+			t.Fatalf("func %d: err = %v, want ErrBadFunc", uint32(f), rep.Err)
+		}
+		if rep.Value != 0 {
+			t.Fatalf("func %d returned a value: %d", uint32(f), rep.Value)
+		}
+	}
+	if w.mon.QueueLen() != 0 {
+		t.Fatal("malformed calls queued a task")
+	}
+}
+
+// A shared-memory image truncated at any point must be rejected by the
+// decoder without letting a task into the queue.
+func TestTrampolineRejectsTruncatedImage(t *testing.T) {
+	w := bootWorld(t)
+	prog := testProgram(t)
+	key := bytes.Repeat([]byte{8}, KeySize)
+	if err := w.mon.ProvisionKey("k", key); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := SealModel(key, []byte("model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := taskimage.Encode(&taskimage.Image{
+		Name: "tsk", Program: prog, Expected: prog.Measurement(),
+		KeyID: "k", SealedModel: sealed, Topology: isolator.Topology{W: 1, H: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full image is accepted...
+	if rep := w.mon.Dispatch(Call{Func: FnSubmitImage, Shared: buf}); rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	// ...every truncation is not.
+	rejectedBefore := w.stats.Get(sim.CtrMonitorRejected)
+	cuts := []int{0, 1, 4, len(buf) / 4, len(buf) / 2, len(buf) - 1}
+	for _, n := range cuts {
+		rep := w.mon.Dispatch(Call{Func: FnSubmitImage, Shared: buf[:n]})
+		if rep.Err == nil {
+			t.Fatalf("image truncated to %d bytes accepted", n)
+		}
+	}
+	if w.mon.QueueLen() != 1 {
+		t.Fatalf("queue len = %d after truncated submits", w.mon.QueueLen())
+	}
+	if got := w.stats.Get(sim.CtrMonitorRejected); got != rejectedBefore+int64(len(cuts)) {
+		t.Fatalf("rejections counted = %d, want %d", got-rejectedBefore, len(cuts))
+	}
+}
+
+// An abort arriving mid-protocol (task loaded, nothing unloaded yet)
+// must tear every piece of secure state down: scratchpad lines
+// scrubbed, core back to non-secure, Guarder cleared, model and chunk
+// zeroed, task forgotten.
+func TestTrampolineAbortMidProtocolLeavesNoSecureState(t *testing.T) {
+	w := bootWorld(t)
+	prog := testProgram(t)
+	id := submitSpec(t, w, prog, isolator.Topology{W: 1, H: 1})
+	if rep := w.mon.Dispatch(Call{Func: FnLoad, Args: []uint64{uint64(id), 0, 1024, 0}}); rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	task, err := w.mon.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, chunkSize := task.Chunk, task.ChunkSize
+	// Plant a sentinel in the secure chunk so the zeroing is observable.
+	w.machine.Phys().Write(chunk, []byte("secret working set"))
+	core, _ := w.acc.Core(0)
+	if core.Domain() != spad.SecureDomain {
+		t.Fatal("precondition: core not secure after load")
+	}
+
+	if rep := w.mon.Dispatch(Call{Func: FnAbort, Args: []uint64{uint64(id)}}); rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+
+	if core.Domain() != spad.NonSecure {
+		t.Fatal("abort left the core in the secure domain")
+	}
+	if n := core.Scratchpad().CountDomain(spad.SecureDomain); n != 0 {
+		t.Fatalf("abort left %d secure scratchpad lines", n)
+	}
+	if n := core.Accumulator().CountDomain(spad.SecureDomain); n != 0 {
+		t.Fatalf("abort left %d secure accumulator lines", n)
+	}
+	for _, reg := range w.guarders[0].TransRegs() {
+		if reg.Valid {
+			t.Fatalf("abort left a valid translation register: %+v", reg)
+		}
+	}
+	buf := make([]byte, chunkSize)
+	w.machine.Phys().Read(chunk, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("abort left chunk byte %d = %#x", i, b)
+		}
+	}
+	if _, err := w.mon.Task(id); !errors.Is(err, ErrUnknownTask) {
+		t.Fatal("aborted task still known")
+	}
+	if _, err := w.mon.ModelBytes(w.machine.SecureContext(), id); err == nil {
+		t.Fatal("aborted task's model still readable")
+	}
+	if w.stats.Get(sim.CtrMonitorAborts) != 1 {
+		t.Fatalf("aborts counted = %d", w.stats.Get(sim.CtrMonitorAborts))
+	}
+	// Double abort and abort-of-unknown fail closed.
+	if rep := w.mon.Dispatch(Call{Func: FnAbort, Args: []uint64{uint64(id)}}); !errors.Is(rep.Err, ErrUnknownTask) {
+		t.Fatalf("double abort: %v", rep.Err)
+	}
+	if rep := w.mon.Dispatch(Call{Func: FnAbort}); rep.Err == nil {
+		t.Fatal("abort without args accepted")
+	}
+}
+
+// Aborting a queued (never loaded) task frees its chunk and model
+// without touching any core.
+func TestAbortQueuedTask(t *testing.T) {
+	w := bootWorld(t)
+	id := submitSpec(t, w, testProgram(t), isolator.Topology{W: 1, H: 1})
+	if w.mon.QueueLen() != 1 {
+		t.Fatal("task not queued")
+	}
+	if err := w.mon.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	if w.mon.QueueLen() != 0 {
+		t.Fatal("aborted task still queued")
+	}
+	if _, err := w.mon.Task(id); !errors.Is(err, ErrUnknownTask) {
+		t.Fatal("aborted task still known")
+	}
+}

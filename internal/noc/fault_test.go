@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func faultMesh(t *testing.T, events []fault.Event) (*Mesh, *sim.Stats, *fault.Injector) {
+	t.Helper()
+	stats := sim.NewStats()
+	m, err := NewMesh(DefaultConfig(2, 2, false), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(fault.Plan{Events: events}, stats)
+	m.AttachInjector(inj)
+	return m, stats, inj
+}
+
+func TestCRCRetryRecoversCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xa5}, 32)
+	clean, _, _ := faultMesh(t, nil)
+	cleanDone, err := clean.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2, Payload: payload}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, stats, inj := faultMesh(t, []fault.Event{{At: 0, Kind: fault.NoCCorrupt, Sel: 3, Bit: 6}})
+	done, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2, Payload: payload}, 0)
+	if err != nil {
+		t.Fatalf("CRC retry did not recover: %v", err)
+	}
+	if done <= cleanDone {
+		t.Fatalf("retry was free: %d vs clean %d", done, cleanDone)
+	}
+	got := m.Receive(Coord{1, 0})
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, payload) {
+		t.Fatal("recovered payload damaged")
+	}
+	if stats.Get(sim.CtrNoCCRCFail) != 1 || stats.Get(sim.CtrNoCRetries) != 1 {
+		t.Fatalf("counters: crc=%d retries=%d", stats.Get(sim.CtrNoCCRCFail), stats.Get(sim.CtrNoCRetries))
+	}
+	if inj.Remaining() != 0 {
+		t.Fatal("event not consumed")
+	}
+}
+
+func TestNoCRCDeliversCorruptionSilently(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xa5}, 32)
+	stats := sim.NewStats()
+	cfg := DefaultConfig(2, 2, false)
+	cfg.CRC = false
+	m, err := NewMesh(cfg, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachInjector(fault.NewInjector(fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.NoCCorrupt, Sel: 3, Bit: 6},
+	}}, stats))
+	if _, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2, Payload: payload}, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Receive(Coord{1, 0})
+	if len(got) != 1 || bytes.Equal(got[0].Payload, payload) {
+		t.Fatal("payload not corrupted without CRC")
+	}
+	if stats.Get(sim.CtrNoCRetries) != 0 {
+		t.Fatal("retried without CRC")
+	}
+}
+
+func TestDropRecoversWithinRetryBudget(t *testing.T) {
+	m, stats, _ := faultMesh(t, []fault.Event{{At: 0, Kind: fault.NoCDrop}})
+	if _, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2}, 0); err != nil {
+		t.Fatalf("single drop not recovered: %v", err)
+	}
+	if stats.Get(sim.CtrNoCDrops) != 1 || stats.Get(sim.CtrNoCRetries) != 1 {
+		t.Fatalf("counters: drops=%d retries=%d", stats.Get(sim.CtrNoCDrops), stats.Get(sim.CtrNoCRetries))
+	}
+}
+
+func TestDropsExhaustRetriesFailClosed(t *testing.T) {
+	// RetryLimit is 3: four drops exhaust the budget.
+	events := make([]fault.Event, 4)
+	for i := range events {
+		events[i] = fault.Event{At: 0, Kind: fault.NoCDrop}
+	}
+	m, _, _ := faultMesh(t, events)
+	_, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 0}, Flits: 2}, 0)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+}
+
+func TestLinkDownReroutesThenFailsClosed(t *testing.T) {
+	m, stats, _ := faultMesh(t, nil)
+	// Kill the XY first hop of {0,0}->{1,1}: the X link.
+	m.FailLink(Coord{0, 0}, Coord{1, 0})
+	if _, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 1}, Flits: 2}, 0); err != nil {
+		t.Fatalf("YX escape route failed: %v", err)
+	}
+	if stats.Get(sim.CtrNoCReroutes) != 1 {
+		t.Fatalf("reroutes = %d", stats.Get(sim.CtrNoCReroutes))
+	}
+	// Kill the YX escape too: now the destination is unreachable and
+	// the mesh fails closed rather than misrouting.
+	m.FailLink(Coord{0, 0}, Coord{0, 1})
+	_, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{1, 1}, Flits: 2}, 0)
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	if stats.Get(sim.CtrNoCLinksDown) != 2 {
+		t.Fatalf("links down = %d", stats.Get(sim.CtrNoCLinksDown))
+	}
+}
+
+func TestInjectorDrivenLinkFailure(t *testing.T) {
+	m, _, inj := faultMesh(t, []fault.Event{{At: 0, Kind: fault.NoCLinkDown, Sel: 2}})
+	if m.DeadLinks() != 0 {
+		t.Fatal("links dead before any traffic")
+	}
+	// Any send observes the due event and kills a deterministic link.
+	if _, err := m.Send(Packet{Src: Coord{0, 0}, Dst: Coord{0, 1}, Flits: 1}, 0); err != nil && !errors.Is(err, ErrLinkDown) {
+		t.Fatal(err)
+	}
+	if m.DeadLinks() != 1 {
+		t.Fatalf("dead links = %d, want 1", m.DeadLinks())
+	}
+	if inj.Remaining() != 0 {
+		t.Fatal("link event not consumed")
+	}
+}

@@ -15,7 +15,9 @@ package noc
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/spad"
 )
@@ -51,6 +53,18 @@ var ErrAuthFailed = errors.New("noc: peephole authentication failed")
 // addressed by a different source.
 var ErrChannelLocked = errors.New("noc: receive channel locked to another source")
 
+// ErrCorrupt is returned when a packet fails its CRC on every allowed
+// retry — the transfer fails closed rather than delivering damage.
+var ErrCorrupt = errors.New("noc: packet corrupted beyond retry limit")
+
+// ErrDropped is returned when a packet is lost and cannot be
+// retransmitted (no CRC/ACK protocol, or retries exhausted).
+var ErrDropped = errors.New("noc: packet dropped")
+
+// ErrLinkDown is returned when no live route exists between two nodes
+// after permanent link failures.
+var ErrLinkDown = errors.New("noc: no live route (permanent link failure)")
+
 // Packet is one NoC transfer: header identity plus payload flits.
 type Packet struct {
 	Src, Dst Coord
@@ -75,11 +89,30 @@ type Config struct {
 	// Peephole enables authentication; false models the unauthorized
 	// baseline NoC.
 	Peephole bool
+	// CRC enables per-packet CRC at the receive engine plus the
+	// NACK/retransmit protocol. Without it corruption flows silently
+	// and a dropped packet is simply lost.
+	CRC bool
+	// RetryLimit bounds retransmissions per packet (CRC mode).
+	RetryLimit int
+	// NackTimeout is the sender's wait before a retransmission, both
+	// for an explicit NACK and for a lost-packet timeout.
+	NackTimeout sim.Cycle
 }
 
-// DefaultConfig returns the evaluation mesh configuration.
+// DefaultConfig returns the evaluation mesh configuration. CRC
+// protection is on: it is timing-invisible until a fault actually
+// corrupts or drops a packet.
 func DefaultConfig(w, h int, peephole bool) Config {
-	return Config{Width: w, Height: h, RouterDelay: 1, LinkBytesPerCycle: FlitBytes, Peephole: peephole}
+	return Config{
+		Width: w, Height: h,
+		RouterDelay:       1,
+		LinkBytesPerCycle: FlitBytes,
+		Peephole:          peephole,
+		CRC:               true,
+		RetryLimit:        3,
+		NackTimeout:       64,
+	}
 }
 
 // linkKey identifies a directed link between adjacent nodes.
@@ -101,6 +134,12 @@ type Mesh struct {
 	locks map[Coord]*Coord
 	// Delivered packets per destination, for functional receivers.
 	inboxes map[Coord][]Packet
+
+	// Fault state: injector hookup, permanently failed links, and a
+	// deterministic link ordering for selector-based targeting.
+	inj       *fault.Injector
+	dead      map[linkKey]bool
+	linkOrder []linkKey
 }
 
 // NewMesh builds the fabric with all links idle.
@@ -119,16 +158,54 @@ func NewMesh(cfg Config, stats *sim.Stats) (*Mesh, error) {
 		locks:    make(map[Coord]*Coord),
 		inboxes:  make(map[Coord][]Packet),
 	}
+	m.dead = make(map[linkKey]bool)
 	for x := 0; x < cfg.Width; x++ {
 		for y := 0; y < cfg.Height; y++ {
 			c := Coord{x, y}
 			for _, n := range m.neighbors(c) {
-				m.links[linkKey{c, n}] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n))
+				lk := linkKey{c, n}
+				m.links[lk] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n))
+				m.linkOrder = append(m.linkOrder, lk)
 			}
 		}
 	}
+	sort.Slice(m.linkOrder, func(i, j int) bool {
+		a, b := m.linkOrder[i], m.linkOrder[j]
+		if a.from != b.from {
+			if a.from.Y != b.from.Y {
+				return a.from.Y < b.from.Y
+			}
+			return a.from.X < b.from.X
+		}
+		if a.to.Y != b.to.Y {
+			return a.to.Y < b.to.Y
+		}
+		return a.to.X < b.to.X
+	})
 	return m, nil
 }
+
+// AttachInjector points the mesh at a fault injector; corrupt/drop
+// events hit in-flight packets, link-down events permanently kill a
+// link chosen by the event's selector.
+func (m *Mesh) AttachInjector(inj *fault.Injector) { m.inj = inj }
+
+// FailLink permanently kills the directed link from->to (and is also
+// how injected NoCLinkDown events land). Traffic reroutes around it or
+// fails closed if no live path remains.
+func (m *Mesh) FailLink(from, to Coord) {
+	lk := linkKey{from, to}
+	if _, ok := m.links[lk]; !ok || m.dead[lk] {
+		return
+	}
+	m.dead[lk] = true
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrNoCLinksDown)
+	}
+}
+
+// DeadLinks reports how many directed links have failed.
+func (m *Mesh) DeadLinks() int { return len(m.dead) }
 
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
@@ -158,28 +235,92 @@ func (m *Mesh) InMesh(c Coord) bool {
 // Route computes the XY dimension-order path from src to dst,
 // inclusive of both endpoints.
 func (m *Mesh) Route(src, dst Coord) ([]Coord, error) {
+	return m.route(src, dst, false)
+}
+
+// route computes a dimension-order path; yFirst selects YX routing
+// (the escape path used around a failed link).
+func (m *Mesh) route(src, dst Coord, yFirst bool) ([]Coord, error) {
 	if !m.InMesh(src) || !m.InMesh(dst) {
 		return nil, fmt.Errorf("noc: route %v->%v leaves the %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height)
 	}
 	path := []Coord{src}
 	cur := src
-	for cur.X != dst.X {
-		if cur.X < dst.X {
-			cur.X++
-		} else {
-			cur.X--
+	stepX := func() {
+		for cur.X != dst.X {
+			if cur.X < dst.X {
+				cur.X++
+			} else {
+				cur.X--
+			}
+			path = append(path, cur)
 		}
-		path = append(path, cur)
 	}
-	for cur.Y != dst.Y {
-		if cur.Y < dst.Y {
-			cur.Y++
-		} else {
-			cur.Y--
+	stepY := func() {
+		for cur.Y != dst.Y {
+			if cur.Y < dst.Y {
+				cur.Y++
+			} else {
+				cur.Y--
+			}
+			path = append(path, cur)
 		}
-		path = append(path, cur)
+	}
+	if yFirst {
+		stepY()
+		stepX()
+	} else {
+		stepX()
+		stepY()
 	}
 	return path, nil
+}
+
+// pathAlive reports whether every link on the path is functional.
+func (m *Mesh) pathAlive(path []Coord) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if m.dead[linkKey{path[i], path[i+1]}] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickRoute selects the XY path, escaping to YX routing around dead
+// links; if both dimension orders are blocked the mesh fails closed.
+func (m *Mesh) pickRoute(src, dst Coord) ([]Coord, error) {
+	path, err := m.route(src, dst, false)
+	if err != nil {
+		return nil, err
+	}
+	if m.pathAlive(path) {
+		return path, nil
+	}
+	alt, err := m.route(src, dst, true)
+	if err != nil {
+		return nil, err
+	}
+	if m.pathAlive(alt) {
+		if m.stats != nil {
+			m.stats.Inc(sim.CtrNoCReroutes)
+		}
+		return alt, nil
+	}
+	return nil, fmt.Errorf("%w: %v->%v", ErrLinkDown, src, dst)
+}
+
+// takeLinkFaults applies any due permanent link-failure events. The
+// victim link is chosen deterministically from the event selector over
+// the sorted link order.
+func (m *Mesh) takeLinkFaults(now sim.Cycle) {
+	for {
+		ev, ok := m.inj.Take(fault.NoCLinkDown, now)
+		if !ok {
+			return
+		}
+		lk := m.linkOrder[ev.Pick(len(m.linkOrder))]
+		m.FailLink(lk.from, lk.to)
+	}
 }
 
 // Send transmits a packet starting no earlier than cycle `at`,
@@ -193,12 +334,15 @@ func (m *Mesh) Route(src, dst Coord) ([]Coord, error) {
 // Authentication adds zero cycles — it is decided from the head flit
 // the receive engine already has.
 func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
-	path, err := m.Route(pkt.Src, pkt.Dst)
-	if err != nil {
-		return 0, err
-	}
 	if pkt.Flits <= 0 {
 		return 0, fmt.Errorf("noc: packet with %d flits", pkt.Flits)
+	}
+	if m.inj.Enabled() {
+		m.takeLinkFaults(at)
+	}
+	path, err := m.pickRoute(pkt.Src, pkt.Dst)
+	if err != nil {
+		return 0, err
 	}
 	if m.stats != nil {
 		m.stats.Inc(sim.CtrNoCPackets)
@@ -231,24 +375,70 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	if flitCycles < sim.Cycle(pkt.Flits) {
 		flitCycles = sim.Cycle(pkt.Flits)
 	}
-	// Claim every link on the path for the body duration; the transfer
-	// is paced by the most contended link.
+	// Transmit, replaying on a NACK (CRC failure) or lost-packet
+	// timeout up to RetryLimit times. Each attempt claims every link on
+	// the path for the body duration; the transfer is paced by the most
+	// contended link. With no fault due the first attempt lands and the
+	// loop body reduces exactly to the fault-free cost model.
 	start := at
-	for i := 0; i+1 < len(path); i++ {
-		link := m.links[linkKey{path[i], path[i+1]}]
-		s := link.Claim(start, flitCycles)
-		if s > start {
-			start = s
+	for attempt := 0; ; attempt++ {
+		for i := 0; i+1 < len(path); i++ {
+			link := m.links[linkKey{path[i], path[i+1]}]
+			s := link.Claim(start, flitCycles)
+			if s > start {
+				start = s
+			}
 		}
+		done := start + sim.Cycle(hops)*m.cfg.RouterDelay + flitCycles
+		if m.stats != nil {
+			m.stats.Add(sim.CtrNoCFlits, int64(pkt.Flits))
+		}
+
+		if _, ok := m.inj.Take(fault.NoCDrop, done); ok {
+			if m.stats != nil {
+				m.stats.Inc(sim.CtrNoCDrops)
+			}
+			if m.cfg.CRC && attempt < m.cfg.RetryLimit {
+				// Sender's ACK watchdog fires and retransmits.
+				if m.stats != nil {
+					m.stats.Inc(sim.CtrNoCRetries)
+				}
+				start = done + m.cfg.NackTimeout
+				continue
+			}
+			return 0, fmt.Errorf("%w: %v->%v", ErrDropped, pkt.Src, pkt.Dst)
+		}
+		if ev, ok := m.inj.Take(fault.NoCCorrupt, done); ok {
+			if !m.cfg.CRC {
+				// No CRC: the damaged flit is delivered as-is — the
+				// silent-corruption baseline.
+				if len(pkt.Payload) > 0 {
+					corrupted := append([]byte(nil), pkt.Payload...)
+					corrupted[ev.Pick(len(corrupted))] ^= 1 << uint(ev.Bit%8)
+					pkt.Payload = corrupted
+				}
+				m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
+				return done, nil
+			}
+			if m.stats != nil {
+				m.stats.Inc(sim.CtrNoCCRCFail)
+			}
+			if attempt < m.cfg.RetryLimit {
+				// Receive engine NACKs; sender retransmits.
+				if m.stats != nil {
+					m.stats.Inc(sim.CtrNoCRetries)
+				}
+				start = done + m.cfg.NackTimeout
+				continue
+			}
+			return 0, fmt.Errorf("%w: %v->%v", ErrCorrupt, pkt.Src, pkt.Dst)
+		}
+
+		if pkt.Payload != nil {
+			m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
+		}
+		return done, nil
 	}
-	done := start + sim.Cycle(hops)*m.cfg.RouterDelay + flitCycles
-	if m.stats != nil {
-		m.stats.Add(sim.CtrNoCFlits, int64(pkt.Flits))
-	}
-	if pkt.Payload != nil {
-		m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
-	}
-	return done, nil
 }
 
 // LockChannel pins dst's receive channel to src (set after a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dma"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -58,6 +59,20 @@ type Core struct {
 	router *noc.RouterController
 	stats  *sim.Stats
 	pipe   pipeline
+	inj    *fault.Injector
+}
+
+// AttachInjector arms this tile with a fault injector: its
+// scratchpads, its DMA engine, and its translator if the translator
+// has fault sites of its own (the IOMMU's IOTLB does).
+func (c *Core) AttachInjector(inj *fault.Injector) {
+	c.inj = inj
+	c.sp.AttachInjector(inj)
+	c.acc.AttachInjector(inj)
+	c.dmaEng.AttachInjector(inj)
+	if a, ok := c.dmaEng.Translator().(interface{ AttachInjector(*fault.Injector) }); ok {
+		a.AttachInjector(inj)
+	}
 }
 
 // ResetPipeline returns the core's execution units to idle (the start
@@ -74,6 +89,7 @@ func NewCore(id int, coord noc.Coord, cfg Config, channel *sim.Resource, phys *m
 		Kind:      spad.Exclusive,
 		IDBits:    cfg.IDBits,
 		Isolated:  cfg.Isolated,
+		Parity:    cfg.Isolated,
 	}, stats)
 	if err != nil {
 		return nil, err
@@ -84,6 +100,7 @@ func NewCore(id int, coord noc.Coord, cfg Config, channel *sim.Resource, phys *m
 		Kind:      spad.Shared,
 		IDBits:    cfg.IDBits,
 		Isolated:  cfg.Isolated,
+		Parity:    cfg.Isolated,
 	}, stats)
 	if err != nil {
 		return nil, err

@@ -4,10 +4,24 @@ import (
 	"fmt"
 
 	"repro/internal/dma"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/trace"
 )
+
+// HangError reports a wedged core caught by the per-core watchdog.
+// Detected is the cycle the watchdog fired; the task makes no progress
+// after the hang, so recovery (abort, restart, remap) resumes from
+// Detected.
+type HangError struct {
+	Core     int
+	Detected sim.Cycle
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("npu: core %d hung (watchdog fired at cycle %d)", e.Core, e.Detected)
+}
 
 // Exec runs one Program on one Core with the double-buffered pipeline
 // a Gemmini-style NPU has: mvin traffic for tile i+1 overlaps the
@@ -150,6 +164,22 @@ func (e *Exec) RunUntil(from sim.Cycle, boundary Boundary) (sim.Cycle, error) {
 			}
 			pipe.prevComputeEnd[0] = pipe.prevComputeEnd[1]
 			pipe.prevComputeEnd[1] = end
+			if e.core.inj.Enabled() {
+				// Advance the injector's clock for untimed sites, then
+				// check whether this tile wedges mid-op. The hang lands on
+				// whichever core is executing when it comes due.
+				e.core.inj.Observe(end)
+				if _, ok := e.core.inj.Take(fault.CoreHang, end); ok {
+					if e.core.stats != nil {
+						e.core.stats.Inc(sim.CtrCoreHangs)
+					}
+					wd := e.core.cfg.HangWatchdog
+					if wd <= 0 {
+						wd = DefaultHangWatchdog
+					}
+					return 0, &HangError{Core: e.core.id, Detected: end + wd}
+				}
+			}
 			if boundary(op) {
 				return e.retire(), nil
 			}
@@ -209,6 +239,17 @@ func (e *Exec) retire() sim.Cycle {
 // Run executes the whole program from cycle `from`.
 func (e *Exec) Run(from sim.Cycle) (sim.Cycle, error) {
 	return e.RunUntil(from, BoundaryNone)
+}
+
+// SkipToLayer advances past every op of layers below `layer` without
+// executing them: checkpoint-restart re-enters the program at the last
+// completed layer boundary, with earlier layers' outputs already in
+// (checkpointed) DRAM.
+func (e *Exec) SkipToLayer(layer int) {
+	for e.pos < len(e.prog.Ops) && e.prog.Ops[e.pos].Layer < layer {
+		e.pos++
+	}
+	e.pendingLoads = e.pendingLoads[:0]
 }
 
 // Utilization is the fraction of elapsed cycles the array did useful

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -83,6 +84,15 @@ func New(cfg Config, phys *mem.Physical, stats *sim.Stats, makeXlate func(core i
 
 // Config returns the NPU configuration.
 func (n *NPU) Config() Config { return n.cfg }
+
+// AttachInjector arms the whole SoC with one fault injector: the mesh
+// and every tile (scratchpads, DMA engines, translators).
+func (n *NPU) AttachInjector(inj *fault.Injector) {
+	n.mesh.AttachInjector(inj)
+	for _, c := range n.cores {
+		c.AttachInjector(inj)
+	}
+}
 
 // Cores returns the core list.
 func (n *NPU) Cores() []*Core { return n.cores }

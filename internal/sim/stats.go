@@ -96,4 +96,23 @@ const (
 	CtrCtxSwitches      = "driver.ctx_switches"
 	CtrTranslations     = "xlate.requests"
 	CtrTranslationStall = "xlate.stall_cycles"
+
+	// Fault injection, detection, and recovery.
+	CtrFaultsInjected     = "fault.injected"
+	CtrECCCorrected       = "mem.ecc_corrected"
+	CtrECCUncorrectable   = "mem.ecc_uncorrectable"
+	CtrSpadParityErrors   = "spad.parity_errors"
+	CtrIOTLBParityErrors  = "iotlb.parity_errors"
+	CtrNoCCRCFail         = "noc.crc_fail"
+	CtrNoCDrops           = "noc.drops"
+	CtrNoCRetries         = "noc.retries"
+	CtrNoCReroutes        = "noc.reroutes"
+	CtrNoCLinksDown       = "noc.links_down"
+	CtrDMATimeouts        = "dma.timeouts"
+	CtrDMARetries         = "dma.retries"
+	CtrCoreHangs          = "npu.core_hangs"
+	CtrMonitorAborts      = "monitor.aborts"
+	CtrTaskRestarts       = "recovery.task_restarts"
+	CtrRecoveredFaults    = "recovery.recovered"
+	CtrUnrecoveredFaults  = "recovery.unrecovered"
 )

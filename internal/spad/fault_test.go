@@ -1,0 +1,109 @@
+package spad
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func parityPad(t *testing.T, stats *sim.Stats) *Scratchpad {
+	t.Helper()
+	sp, err := New(Config{Lines: 64, LineBytes: 16, Kind: Exclusive, Isolated: true, Parity: true}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestParityDetectsBitFlipFailClosed(t *testing.T) {
+	stats := sim.NewStats()
+	sp := parityPad(t, stats)
+	line := make([]byte, 16)
+	copy(line, "sixteen byte row")
+	if err := sp.Write(NonSecure, 5, line); err != nil {
+		t.Fatal(err)
+	}
+	// Clean read passes.
+	dst := make([]byte, 16)
+	if err := sp.Read(NonSecure, 5, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	sp.InjectBitFlip(5, 11)
+	err := sp.Read(NonSecure, 5, dst)
+	if !errors.Is(err, ErrParity) {
+		t.Fatalf("read of damaged line: %v, want ErrParity", err)
+	}
+	if stats.Get(sim.CtrSpadParityErrors) != 1 {
+		t.Fatalf("%s = %d", sim.CtrSpadParityErrors, stats.Get(sim.CtrSpadParityErrors))
+	}
+}
+
+// A rewrite restamps parity: damage does not outlive the data.
+func TestParityRecoversOnRewrite(t *testing.T) {
+	sp := parityPad(t, sim.NewStats())
+	line := make([]byte, 16)
+	if err := sp.Write(NonSecure, 3, line); err != nil {
+		t.Fatal(err)
+	}
+	sp.InjectBitFlip(3, 0)
+	if err := sp.Write(NonSecure, 3, line); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Read(NonSecure, 3, make([]byte, 16)); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+// Without parity the flip flows silently — the undetected-corruption
+// baseline.
+func TestNoParityIsSilent(t *testing.T) {
+	sp, err := New(Config{Lines: 64, LineBytes: 16, Kind: Exclusive, Isolated: true}, sim.NewStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, 16)
+	if err := sp.Write(NonSecure, 7, line); err != nil {
+		t.Fatal(err)
+	}
+	sp.InjectBitFlip(7, 20)
+	dst := make([]byte, 16)
+	if err := sp.Read(NonSecure, 7, dst); err != nil {
+		t.Fatalf("no-parity read failed: %v", err)
+	}
+	if dst[2] == 0 {
+		t.Fatal("corruption did not reach the reader")
+	}
+}
+
+// An injector-scheduled scratchpad fault fires on the access stream
+// and is caught by parity on the read of the victim line.
+func TestInjectorDrivenSpadFault(t *testing.T) {
+	stats := sim.NewStats()
+	sp := parityPad(t, stats)
+	inj := fault.NewInjector(fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.SpadBitFlip, Sel: 9, Bit: 4}, // Sel % 64 lines = line 9
+	}}, stats)
+	sp.AttachInjector(inj)
+
+	if err := sp.Write(NonSecure, 9, make([]byte, 16)); err != nil {
+		// The event fires on this first access (before the store), the
+		// store restamps parity — so schedule matters; tolerate either
+		// clean write path.
+		t.Fatal(err)
+	}
+	// Arm again via a fresh event now that line 9 holds data.
+	inj2 := fault.NewInjector(fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.SpadBitFlip, Sel: 9, Bit: 4},
+	}}, stats)
+	sp.AttachInjector(inj2)
+	err := sp.Read(NonSecure, 9, make([]byte, 16))
+	if !errors.Is(err, ErrParity) {
+		t.Fatalf("injector-driven fault: %v, want ErrParity", err)
+	}
+	if inj2.Injected() != 1 {
+		t.Fatalf("injected = %d", inj2.Injected())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/tee"
 )
@@ -62,6 +63,12 @@ func (k Kind) String() string {
 // ErrIsolation is returned when the ID-state rules deny an access.
 var ErrIsolation = errors.New("spad: access denied by ID-state isolation")
 
+// ErrParity is returned when a read hits a wordline whose stored
+// parity no longer matches its payload (an SRAM bit flip). The access
+// fails closed; recovery is the task's to arrange (abort or restart
+// from a checkpoint) — corrupted operands must never flow silently.
+var ErrParity = errors.New("spad: wordline parity error")
+
 // Config describes a scratchpad instance.
 type Config struct {
 	// Lines is the number of wordlines.
@@ -76,15 +83,21 @@ type Config struct {
 	// Isolated enables ID checking; false models the unprotected
 	// baseline NPU (attacks succeed against it).
 	Isolated bool
+	// Parity arms per-wordline parity: writes stamp a parity byte,
+	// reads verify it and fail closed on mismatch. Off models SRAM
+	// without error detection (bit flips flow silently).
+	Parity bool
 }
 
 // Scratchpad is one SRAM instance with per-line ID state.
 type Scratchpad struct {
-	cfg   Config
-	data  []byte
-	ids   []DomainID
-	valid []bool
-	stats *sim.Stats
+	cfg    Config
+	data   []byte
+	ids    []DomainID
+	valid  []bool
+	parity []uint8
+	inj    *fault.Injector
+	stats  *sim.Stats
 }
 
 // New builds a scratchpad; payload bytes are zero, all lines
@@ -99,14 +112,25 @@ func New(cfg Config, stats *sim.Stats) (*Scratchpad, error) {
 	if cfg.IDBits < 1 || cfg.IDBits > 8 {
 		return nil, fmt.Errorf("spad: IDBits %d out of range [1,8]", cfg.IDBits)
 	}
-	return &Scratchpad{
+	s := &Scratchpad{
 		cfg:   cfg,
 		data:  make([]byte, cfg.Lines*cfg.LineBytes),
 		ids:   make([]DomainID, cfg.Lines),
 		valid: make([]bool, cfg.Lines),
 		stats: stats,
-	}, nil
+	}
+	if cfg.Parity {
+		s.parity = make([]uint8, cfg.Lines)
+	}
+	return s, nil
 }
+
+// AttachInjector points the scratchpad at a fault injector; bit-flip
+// events fire at the next access after their scheduled cycle.
+func (s *Scratchpad) AttachInjector(inj *fault.Injector) { s.inj = inj }
+
+// ParityEnabled reports whether per-line parity is armed.
+func (s *Scratchpad) ParityEnabled() bool { return s.cfg.Parity }
 
 // Config returns the scratchpad's configuration.
 func (s *Scratchpad) Config() Config { return s.cfg }
@@ -165,6 +189,7 @@ func (s *Scratchpad) LineValid(line int) bool {
 // With Isolated=false (baseline NPU) the read always succeeds, even of
 // stale lines written by another task — the LeftoverLocals bug.
 func (s *Scratchpad) Read(core DomainID, line int, dst []byte) error {
+	s.takeFaults()
 	if err := s.checkLine(line); err != nil {
 		return err
 	}
@@ -188,6 +213,9 @@ func (s *Scratchpad) Read(core DomainID, line int, dst []byte) error {
 			s.ids[line] = core
 		}
 	}
+	if err := s.VerifyParity(line); err != nil {
+		return err
+	}
 	copy(dst, s.lineSlice(line))
 	return nil
 }
@@ -199,6 +227,7 @@ func (s *Scratchpad) Read(core DomainID, line int, dst []byte) error {
 // disclosed). Shared rule: a non-secure core may not overwrite a
 // secure line; a secure core's write retags the line.
 func (s *Scratchpad) Write(core DomainID, line int, src []byte) error {
+	s.takeFaults()
 	if err := s.checkLine(line); err != nil {
 		return err
 	}
@@ -218,7 +247,60 @@ func (s *Scratchpad) Write(core DomainID, line int, src []byte) error {
 	}
 	s.ids[line] = core
 	s.valid[line] = true
+	if s.parity != nil {
+		s.parity[line] = lineParity(dst)
+	}
 	return nil
+}
+
+// takeFaults drains any scratchpad bit-flip events that have come due
+// and applies them before the access proceeds. The line is chosen
+// deterministically from the event's selector.
+func (s *Scratchpad) takeFaults() {
+	if !s.inj.Enabled() {
+		return
+	}
+	for {
+		ev, ok := s.inj.TakeAt(fault.SpadBitFlip)
+		if !ok {
+			return
+		}
+		s.InjectBitFlip(ev.Pick(s.cfg.Lines), ev.Bit)
+	}
+}
+
+// InjectBitFlip flips one bit of a wordline's payload without updating
+// the stored parity — exactly what an SRAM upset does.
+func (s *Scratchpad) InjectBitFlip(line int, bit uint8) {
+	if line < 0 || line >= s.cfg.Lines {
+		return
+	}
+	b := int(bit) % (s.cfg.LineBytes * 8)
+	s.lineSlice(line)[b/8] ^= 1 << uint(b%8)
+}
+
+// VerifyParity checks one wordline against its stored parity byte,
+// counting and failing closed on mismatch. With parity disabled it
+// always succeeds (the silent-corruption baseline).
+func (s *Scratchpad) VerifyParity(line int) error {
+	if s.parity == nil {
+		return nil
+	}
+	if lineParity(s.lineSlice(line)) == s.parity[line] {
+		return nil
+	}
+	if s.stats != nil {
+		s.stats.Inc(sim.CtrSpadParityErrors)
+	}
+	return fmt.Errorf("%w: %s line %d", ErrParity, s.cfg.Kind, line)
+}
+
+func lineParity(b []byte) uint8 {
+	var p uint8
+	for _, x := range b {
+		p ^= x
+	}
+	return p
 }
 
 func (s *Scratchpad) deny(op string, core DomainID, line int) error {
@@ -250,6 +332,9 @@ func (s *Scratchpad) ResetSecure(ctx tee.Context, from, to int) error {
 		}
 		s.ids[line] = NonSecure
 		s.valid[line] = false
+		if s.parity != nil {
+			s.parity[line] = 0
+		}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/guarder"
 	"repro/internal/mem"
 	"repro/internal/monitor"
@@ -83,6 +84,8 @@ type System struct {
 	mon      *monitor.Monitor
 	// next translation-register slot per core for non-secure windows
 	nextSlot map[int]int
+	// inj is the armed fault injector (nil without a plan).
+	inj *fault.Injector
 }
 
 // New boots a system: memory regions, secure-boot chain, NPU cores
@@ -291,11 +294,18 @@ func (s *System) RunModelTraced(name string, w io.Writer) (InferenceResult, erro
 	}, nil
 }
 
-// SecureTaskHandle identifies a verified secure task.
+// SecureTaskHandle identifies a verified secure task. It keeps the
+// submission inputs so the recovery path can resubmit the task after a
+// fail-closed abort.
 type SecureTaskHandle struct {
 	ID    int
 	Cores []int
 	prog  *workloadProg
+	keyID string
+	// sealed is the still-encrypted model blob — resubmission after an
+	// abort re-verifies and re-decrypts it; no plaintext outlives the
+	// abort outside the monitor.
+	sealed []byte
 }
 
 type workloadProg struct {
@@ -377,7 +387,12 @@ func (s *System) SubmitSecure(name, keyID string, sealedModel []byte) (*SecureTa
 	if rep.Err != nil {
 		return nil, rep.Err
 	}
-	return &SecureTaskHandle{ID: int(rep.Value), prog: &workloadProg{w: w, prog: prog}}, nil
+	return &SecureTaskHandle{
+		ID:     int(rep.Value),
+		prog:   &workloadProg{w: w, prog: prog},
+		keyID:  keyID,
+		sealed: append([]byte(nil), sealedModel...),
+	}, nil
 }
 
 // RunSecure loads the task onto core 0 (flipping it into the secure
