@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// The -bench-json perf snapshot: wall-time per experiment, cells/sec,
+// and allocation churn, written as BENCH_<date>.json so the repo
+// carries a perf trajectory future PRs must not regress (the
+// -bench-against gate in CI enforces a 2x ceiling).
+
+// benchSchema versions the snapshot format.
+const benchSchema = "snpu-bench/v1"
+
+// BenchExperiment is one experiment's measurement.
+type BenchExperiment struct {
+	Name string `json:"name"`
+	// WallNS is the experiment's wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Cells is how many experiment cells (SoC boots) the run executed.
+	Cells int64 `json:"cells"`
+	// CellsPerSec is Cells over wall time.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Allocs and AllocBytes are the heap churn over the run (deltas of
+	// runtime.MemStats.Mallocs / TotalAlloc).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// BenchSnapshot is the whole perf snapshot.
+type BenchSnapshot struct {
+	Schema    string `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Jobs is the -j worker-pool width of the measured run.
+	Jobs        int               `json:"jobs"`
+	Experiments []BenchExperiment `json:"experiments"`
+	TotalWallNS int64             `json:"total_wall_ns"`
+	// SeqTotalWallNS is the sequential (-j 1) reference total, present
+	// when the snapshot was taken with -bench-compare.
+	SeqTotalWallNS int64 `json:"seq_total_wall_ns,omitempty"`
+	// Speedup is SeqTotalWallNS / TotalWallNS when both were measured.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// measureExperiment runs one spec, capturing wall time, cell count,
+// and allocation deltas around it.
+func measureExperiment(spec expSpec, opts options) (BenchExperiment, []section, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cellsBefore := experiments.CellsRun()
+	start := time.Now()
+	sections, err := spec.run(opts)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return BenchExperiment{}, nil, err
+	}
+	m := BenchExperiment{
+		Name:       spec.name,
+		WallNS:     wall.Nanoseconds(),
+		Cells:      experiments.CellsRun() - cellsBefore,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if wall > 0 {
+		m.CellsPerSec = float64(m.Cells) / wall.Seconds()
+	}
+	return m, sections, nil
+}
+
+// newSnapshot assembles the snapshot from per-experiment measurements.
+func newSnapshot(jobs int, measured []BenchExperiment, seqTotalNS int64) BenchSnapshot {
+	snap := BenchSnapshot{
+		Schema:      benchSchema,
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Jobs:        jobs,
+		Experiments: measured,
+	}
+	for _, m := range measured {
+		snap.TotalWallNS += m.WallNS
+	}
+	if seqTotalNS > 0 {
+		snap.SeqTotalWallNS = seqTotalNS
+		if snap.TotalWallNS > 0 {
+			snap.Speedup = float64(seqTotalNS) / float64(snap.TotalWallNS)
+		}
+	}
+	return snap
+}
+
+// writeSnapshot writes the snapshot as indented JSON.
+func writeSnapshot(path string, snap BenchSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// readSnapshot loads a committed snapshot.
+func readSnapshot(path string) (BenchSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BenchSnapshot{}, err
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return BenchSnapshot{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if snap.Schema != benchSchema {
+		return BenchSnapshot{}, fmt.Errorf("%s: unknown schema %q", path, snap.Schema)
+	}
+	return snap, nil
+}
+
+// regressionFloorNS ignores experiments whose baseline wall time is in
+// the noise (scheduler jitter makes sub-50ms timings meaningless to
+// ratio-compare).
+const regressionFloorNS = 50 * int64(time.Millisecond)
+
+// compareSnapshots reports every experiment whose wall time regressed
+// more than 2x over the baseline's.
+func compareSnapshots(baseline BenchSnapshot, measured []BenchExperiment) []string {
+	base := make(map[string]BenchExperiment, len(baseline.Experiments))
+	for _, e := range baseline.Experiments {
+		base[e.Name] = e
+	}
+	var out []string
+	for _, m := range measured {
+		b, ok := base[m.Name]
+		if !ok || b.WallNS < regressionFloorNS {
+			continue
+		}
+		if m.WallNS > 2*b.WallNS {
+			out = append(out, fmt.Sprintf("%s: %.0fms vs baseline %.0fms (>2x)",
+				m.Name, float64(m.WallNS)/1e6, float64(b.WallNS)/1e6))
+		}
+	}
+	return out
+}

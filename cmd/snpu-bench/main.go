@@ -9,16 +9,26 @@
 //	snpu-bench -models alexnet,yololite
 //	snpu-bench -markdown       # wrap tables for EXPERIMENTS.md
 //	snpu-bench -exp chaos -seed 7
+//	snpu-bench -j 4            # run experiment cells on 4 workers
+//	snpu-bench -bench-json BENCH_2026-08-06.json -bench-compare
+//	snpu-bench -bench-against BENCH_2026-08-06.json
 //
 // -seed (default 1) drives everything randomized: the chaos
 // experiment's fault plans and its sealing key. The same seed always
 // reproduces byte-identical tables.
+//
+// -j sets the worker-pool width for experiment cells (default
+// GOMAXPROCS). Every cell boots its own SoC, so any -j produces
+// byte-identical tables; see DESIGN.md on the parallel-determinism
+// contract.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	snpu "repro"
@@ -28,15 +38,179 @@ import (
 	"repro/internal/workload"
 )
 
+// options carries the per-run configuration into the experiment specs.
+type options struct {
+	exp      string
+	models   []workload.Workload
+	markdown bool
+	seed     int64
+}
+
+// section is one titled output block.
+type section struct {
+	title, body string
+}
+
+// expSpec names one experiment and produces its output sections.
+type expSpec struct {
+	name string
+	run  func(opts options) ([]section, error)
+}
+
+// suiteSpecs lists every experiment in the order the report prints
+// them. Each spec fans its cells out over the experiments worker pool;
+// the spec list itself runs in order so sections render
+// deterministically.
+func suiteSpecs() []expSpec {
+	cfg := npu.DefaultConfig()
+	return []expSpec{
+		{"fig1", func(o options) ([]section, error) {
+			res, err := experiments.Fig1(o.models, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Fig. 1 — FLOPS utilization of single inference workloads", res.TableString()}}, nil
+		}},
+		{"table1", func(o options) ([]section, error) {
+			res, err := experiments.Table1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Table I — scratchpad isolation mechanisms", res.TableString()}}, nil
+		}},
+		{"fig13", func(o options) ([]section, error) {
+			res, err := experiments.Fig13(o.models, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{
+				{"Fig. 13(a) — access control: normalized performance", res.TableA()},
+				{"Fig. 13(b) — access control: translation requests", res.TableB()},
+			}, nil
+		}},
+		{"fig14", func(o options) ([]section, error) {
+			res, err := experiments.Fig14(o.models, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Fig. 14 — flush granularity overhead (time-shared)", res.TableString()}}, nil
+		}},
+		{"fig15", func(o options) ([]section, error) {
+			res, err := experiments.Fig15(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Fig. 15 — static partition vs ID-based dynamic scratchpad", res.TableString()}}, nil
+		}},
+		{"fig16", func(o options) ([]section, error) {
+			res, err := experiments.Fig16(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Fig. 16 — NoC micro-test", res.TableString()}}, nil
+		}},
+		{"fig17", func(o options) ([]section, error) {
+			res, err := experiments.Fig17(o.models, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"Fig. 17 — NoC application test (model-parallel, 2x2 cores)", res.TableString()}}, nil
+		}},
+		{"fig18", func(o options) ([]section, error) {
+			res := experiments.Fig18(hwcost.DefaultParams())
+			return []section{{"Fig. 18 — hardware resource cost", res.TableString()}}, nil
+		}},
+		{"tcb", func(o options) ([]section, error) {
+			res, err := experiments.TCB()
+			if err != nil {
+				return nil, err
+			}
+			return []section{{"TCB size analysis (§VI-F, over this repository)", res.TableString()}}, nil
+		}},
+		{"ablations", func(o options) ([]section, error) {
+			sweeps := []func() (*experiments.AblationResult, error){
+				func() (*experiments.AblationResult, error) { return experiments.AblationIOTLBSweep("yololite", cfg) },
+				func() (*experiments.AblationResult, error) { return experiments.AblationSpadBudget("alexnet", cfg) },
+				func() (*experiments.AblationResult, error) { return experiments.AblationMultiDomain(), nil },
+				func() (*experiments.AblationResult, error) { return experiments.AblationL2("alexnet", cfg) },
+				func() (*experiments.AblationResult, error) { return experiments.AblationMulticast(cfg) },
+				func() (*experiments.AblationResult, error) {
+					return experiments.AblationCheckingEnergy("yololite", cfg)
+				},
+				func() (*experiments.AblationResult, error) { return experiments.AblationBandwidth("alexnet", cfg) },
+				func() (*experiments.AblationResult, error) { return experiments.AblationPreemption("yololite", cfg) },
+			}
+			var out []section
+			for _, sweep := range sweeps {
+				res, err := sweep()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, section{"Ablation — " + res.Name, res.TableString()})
+			}
+			return out, nil
+		}},
+		{"chaos", func(o options) ([]section, error) {
+			model := "yololite"
+			if len(o.models) > 0 {
+				model = o.models[0].Name
+			}
+			res, err := snpu.Chaos(model, o.seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			title := fmt.Sprintf("Chaos — seeded fault injection + recovery (%s, seed %d; beyond-paper)", res.Model, res.Seed)
+			return []section{{title, res.TableString()}}, nil
+		}},
+	}
+}
+
+// runSuite executes the selected experiments in order, writes their
+// sections to w, and returns the per-experiment measurements for the
+// bench snapshot.
+func runSuite(w io.Writer, opts options) ([]BenchExperiment, error) {
+	emit := func(s section) {
+		if opts.markdown {
+			fmt.Fprintf(w, "### %s\n\n```\n%s```\n\n", s.title, s.body)
+		} else {
+			fmt.Fprintf(w, "==== %s ====\n%s\n", s.title, s.body)
+		}
+	}
+	var measured []BenchExperiment
+	ran := false
+	for _, spec := range suiteSpecs() {
+		if opts.exp != "all" && opts.exp != spec.name {
+			continue
+		}
+		ran = true
+		m, sections, err := measureExperiment(spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+		measured = append(measured, m)
+		for _, s := range sections {
+			emit(s)
+		}
+	}
+	if !ran {
+		return nil, fmt.Errorf("unknown experiment %q", opts.exp)
+	}
+	return measured, nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, chaos)")
 	modelsFlag := flag.String("models", "", "comma-separated model subset (default: all six)")
 	markdown := flag.Bool("markdown", false, "emit fenced code blocks with headings")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	seed := flag.Int64("seed", 1, "seed for randomized experiments (chaos); same seed = identical output")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiment-cell worker pool width; output is identical for any value")
+	benchJSON := flag.String("bench-json", "", "write a perf snapshot (wall-time per experiment, cells/sec, allocs) to this file")
+	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: also run sequentially first and record the -j speedup")
+	benchAgainst := flag.String("bench-against", "", "compare wall-times against a committed snapshot; exit 1 on a >2x regression")
 	flag.Parse()
 
-	out := os.Stdout
+	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -50,126 +224,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := npu.DefaultConfig()
+	opts := options{exp: *exp, models: models, markdown: *markdown, seed: *seed}
 
-	section := func(title, body string) {
-		if *markdown {
-			fmt.Fprintf(out, "### %s\n\n```\n%s```\n\n", title, body)
-		} else {
-			fmt.Fprintf(out, "==== %s ====\n%s\n", title, body)
+	var seqTotal int64
+	if *benchCompare && *benchJSON != "" {
+		// Sequential reference pass: same cells, pool width 1, output
+		// discarded (it is byte-identical by the determinism contract).
+		experiments.SetWorkers(1)
+		seqMeasured, err := runSuite(io.Discard, opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range seqMeasured {
+			seqTotal += m.WallNS
 		}
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
+	experiments.SetWorkers(*jobs)
+	measured, err := runSuite(out, opts)
+	if err != nil {
+		fatal(err)
+	}
 
-	if want("fig1") {
-		ran = true
-		res, err := experiments.Fig1(models, cfg)
+	if *benchJSON != "" {
+		snap := newSnapshot(*jobs, measured, seqTotal)
+		if err := writeSnapshot(*benchJSON, snap); err != nil {
+			fatal(err)
+		}
+	}
+	if *benchAgainst != "" {
+		baseline, err := readSnapshot(*benchAgainst)
 		if err != nil {
 			fatal(err)
 		}
-		section("Fig. 1 — FLOPS utilization of single inference workloads", res.TableString())
-	}
-	if want("table1") {
-		ran = true
-		res, err := experiments.Table1(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Table I — scratchpad isolation mechanisms", res.TableString())
-	}
-	if want("fig13") {
-		ran = true
-		res, err := experiments.Fig13(models, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Fig. 13(a) — access control: normalized performance", res.TableA())
-		section("Fig. 13(b) — access control: translation requests", res.TableB())
-	}
-	if want("fig14") {
-		ran = true
-		res, err := experiments.Fig14(models, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Fig. 14 — flush granularity overhead (time-shared)", res.TableString())
-	}
-	if want("fig15") {
-		ran = true
-		res, err := experiments.Fig15(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Fig. 15 — static partition vs ID-based dynamic scratchpad", res.TableString())
-	}
-	if want("fig16") {
-		ran = true
-		res, err := experiments.Fig16(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Fig. 16 — NoC micro-test", res.TableString())
-	}
-	if want("fig17") {
-		ran = true
-		res, err := experiments.Fig17(models, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		section("Fig. 17 — NoC application test (model-parallel, 2x2 cores)", res.TableString())
-	}
-	if want("fig18") {
-		ran = true
-		res := experiments.Fig18(hwcost.DefaultParams())
-		section("Fig. 18 — hardware resource cost", res.TableString())
-	}
-	if want("tcb") {
-		ran = true
-		res, err := experiments.TCB()
-		if err != nil {
-			fatal(err)
-		}
-		section("TCB size analysis (§VI-F, over this repository)", res.TableString())
-	}
-	if want("ablations") {
-		ran = true
-		sweeps := []func() (*experiments.AblationResult, error){
-			func() (*experiments.AblationResult, error) { return experiments.AblationIOTLBSweep("yololite", cfg) },
-			func() (*experiments.AblationResult, error) { return experiments.AblationSpadBudget("alexnet", cfg) },
-			func() (*experiments.AblationResult, error) { return experiments.AblationMultiDomain(), nil },
-			func() (*experiments.AblationResult, error) { return experiments.AblationL2("alexnet", cfg) },
-			func() (*experiments.AblationResult, error) { return experiments.AblationMulticast(cfg) },
-			func() (*experiments.AblationResult, error) {
-				return experiments.AblationCheckingEnergy("yololite", cfg)
-			},
-			func() (*experiments.AblationResult, error) { return experiments.AblationBandwidth("alexnet", cfg) },
-			func() (*experiments.AblationResult, error) { return experiments.AblationPreemption("yololite", cfg) },
-		}
-		for _, sweep := range sweeps {
-			res, err := sweep()
-			if err != nil {
-				fatal(err)
+		if regressions := compareSnapshots(baseline, measured); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "snpu-bench: REGRESSION:", r)
 			}
-			section("Ablation — "+res.Name, res.TableString())
+			os.Exit(1)
 		}
-	}
-	if want("chaos") {
-		ran = true
-		model := "yololite"
-		if len(models) > 0 {
-			model = models[0].Name
-		}
-		res, err := snpu.Chaos(model, *seed, nil)
-		if err != nil {
-			fatal(err)
-		}
-		section(fmt.Sprintf("Chaos — seeded fault injection + recovery (%s, seed %d; beyond-paper)", res.Model, res.Seed),
-			res.TableString())
-	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		fmt.Fprintln(os.Stderr, "snpu-bench: no wall-time regressions vs", *benchAgainst)
 	}
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// The byte-level half of the parallel-determinism contract: the whole
+// report — every experiment, including the seeded chaos run whose
+// fault plans are non-empty — must be byte-identical between the
+// sequential runner and a 4-wide pool. CI runs this under -race, so a
+// violation surfaces either as a diff here or as a data race there.
+
+func testModels(t *testing.T) []workload.Workload {
+	t.Helper()
+	if !testing.Short() {
+		return workload.All()
+	}
+	var out []workload.Workload
+	for _, n := range []string{"alexnet", "yololite"} {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func renderSuite(t *testing.T, opts options, jobs int) []byte {
+	t.Helper()
+	experiments.SetWorkers(jobs)
+	defer experiments.SetWorkers(0)
+	var buf bytes.Buffer
+	if _, err := runSuite(&buf, opts); err != nil {
+		t.Fatalf("runSuite (j=%d): %v", jobs, err)
+	}
+	return buf.Bytes()
+}
+
+func TestDifferentialFullSuite(t *testing.T) {
+	opts := options{exp: "all", models: testModels(t), seed: 1}
+	seq := renderSuite(t, opts, 1)
+	par := renderSuite(t, opts, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("full suite differs between -j 1 and -j 4 (seq %d bytes, par %d bytes):\n%s",
+			len(seq), len(par), firstDiff(seq, par))
+	}
+}
+
+// TestDifferentialChaosSeeded re-checks the contract on the chaos
+// experiment alone with a different fixed seed, so the fault-injection
+// path (non-empty plan) is exercised explicitly even in -short runs.
+func TestDifferentialChaosSeeded(t *testing.T) {
+	opts := options{exp: "chaos", models: testModels(t), seed: 7}
+	seq := renderSuite(t, opts, 1)
+	par := renderSuite(t, opts, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("chaos(seed=7) differs between -j 1 and -j 4:\n%s", firstDiff(seq, par))
+	}
+	if !bytes.Contains(seq, []byte("seed 7")) {
+		t.Fatal("chaos output does not mention its seed")
+	}
+}
+
+// TestBenchSnapshotRoundTrip covers the -bench-json emitter: a
+// snapshot survives write/read and the regression comparator flags
+// only genuine >2x slowdowns.
+func TestBenchSnapshotRoundTrip(t *testing.T) {
+	measured := []BenchExperiment{
+		{Name: "fig13", WallNS: 2e9, Cells: 36, CellsPerSec: 18},
+		{Name: "fig16", WallNS: 1e6, Cells: 6},
+	}
+	snap := newSnapshot(4, measured, 4e9)
+	if snap.TotalWallNS != 2e9+1e6 {
+		t.Fatalf("TotalWallNS = %d", snap.TotalWallNS)
+	}
+	if snap.Speedup < 1.9 || snap.Speedup > 2.1 {
+		t.Fatalf("Speedup = %v, want ~2", snap.Speedup)
+	}
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := writeSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs != 4 || len(back.Experiments) != 2 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+
+	// 3x regression on fig13 must trip; fig16 is under the noise floor
+	// and must not, even at 100x.
+	slow := []BenchExperiment{
+		{Name: "fig13", WallNS: 6e9},
+		{Name: "fig16", WallNS: 1e8},
+	}
+	regs := compareSnapshots(back, slow)
+	if len(regs) != 1 || !strings.Contains(regs[0], "fig13") {
+		t.Fatalf("regressions = %v, want exactly fig13", regs)
+	}
+	if regs := compareSnapshots(back, measured); len(regs) != 0 {
+		t.Fatalf("same timings flagged as regression: %v", regs)
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\nseq: %s\npar: %s", i+1, al[i], bl[i])
+		}
+	}
+	return "outputs diverge in length only"
+}

@@ -55,17 +55,21 @@ func AblationIOTLBSweep(model string, cfg npu.Config) (*AblationResult, error) {
 		return nil, err
 	}
 	res := &AblationResult{Name: "iotlb-sweep/" + model}
-	for _, entries := range []int{2, 4, 8, 16, 32, 64, 128} {
+	rows, err := mapCells([]int{2, 4, 8, 16, 32, 64, 128}, func(entries int) (AblationRow, error) {
 		cycles, _, err := RunContended(w, Mechanism{Name: fmt.Sprintf("iotlb-%d", entries), IOTLBEntries: entries}, cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Param: fmt.Sprintf("entries=%d", entries),
 			Value: (float64(cycles)/float64(base) - 1) * 100,
 			Unit:  "slowdown%",
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -245,19 +249,23 @@ func AblationBandwidth(model string, cfg npu.Config) (*AblationResult, error) {
 		return nil, err
 	}
 	res := &AblationResult{Name: "dram-bandwidth/" + model}
-	for _, bpc := range []uint64{4, 8, 16, 32, 64} {
+	rows, err := mapCells([]uint64{4, 8, 16, 32, 64}, func(bpc uint64) (AblationRow, error) {
 		c := cfg
 		c.DRAMBytesPerCycle = bpc
 		cycles, _, err := RunSolo(w, Mechanism{Name: "none"}, c)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Param: fmt.Sprintf("%d GB/s", bpc),
 			Value: float64(cycles),
 			Unit:  "cycles",
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -27,23 +27,25 @@ type Fig1Result struct {
 // idle, which is why multi-tasking (and hence multi-task isolation)
 // matters.
 func Fig1(models []workload.Workload, cfg npu.Config) (*Fig1Result, error) {
-	res := &Fig1Result{}
-	for _, w := range models {
+	rows, err := mapCells(models, func(w workload.Workload) (Fig1Row, error) {
 		cycles, _, err := RunSolo(w, Mechanism{Name: "none"}, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", w.Name, err)
+			return Fig1Row{}, fmt.Errorf("fig1 %s: %w", w.Name, err)
 		}
 		prog, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
 		if err != nil {
-			return nil, err
+			return Fig1Row{}, err
 		}
-		res.Rows = append(res.Rows, Fig1Row{
+		return Fig1Row{
 			Model:       w.Name,
 			Cycles:      cycles,
 			Utilization: npu.Utilization(prog, cycles, cfg.SystolicDim),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig1Result{Rows: rows}, nil
 }
 
 // TableString renders the figure.

@@ -29,43 +29,51 @@ type Fig13Result struct {
 	Rows []Fig13Row
 }
 
-// Fig13 runs every model under every access-control mechanism.
+// Fig13 runs every model under every access-control mechanism. Each
+// (model, mechanism) cell is independent — the contended pair boots its
+// own SoC — so the full grid fans out over the worker pool; the
+// per-model normalization is a cheap sequential pass over the gathered
+// rows.
 func Fig13(models []workload.Workload, cfg npu.Config) (*Fig13Result, error) {
-	res := &Fig13Result{}
-	for _, w := range models {
+	mechs := Fig13Mechanisms()
+	rows, err := runCells(len(models)*len(mechs), func(i int) (Fig13Row, error) {
+		w, mech := models[i/len(mechs)], mechs[i%len(mechs)]
+		cycles, stats, err := RunContended(w, mech, cfg)
+		if err != nil {
+			return Fig13Row{}, fmt.Errorf("fig13 %s/%s: %w", w.Name, mech.Name, err)
+		}
+		return Fig13Row{
+			Model:     w.Name,
+			Mechanism: mech.Name,
+			Cycles:    cycles,
+			Requests:  stats[sim.CtrTranslations],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for m := 0; m < len(models); m++ {
+		group := rows[m*len(mechs) : (m+1)*len(mechs)]
 		baselineCycles := sim.Cycle(0)
 		iommuReqs := int64(0)
-		var modelRows []Fig13Row
-		for _, mech := range Fig13Mechanisms() {
-			cycles, stats, err := RunContended(w, mech, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s: %w", w.Name, mech.Name, err)
+		for _, r := range group {
+			switch r.Mechanism {
+			case "none":
+				baselineCycles = r.Cycles
+			case "iotlb-32":
+				iommuReqs = r.Requests
 			}
-			if mech.Name == "none" {
-				baselineCycles = cycles
-			}
-			reqs := stats[sim.CtrTranslations]
-			if mech.Name == "iotlb-32" {
-				iommuReqs = reqs
-			}
-			modelRows = append(modelRows, Fig13Row{
-				Model:     w.Name,
-				Mechanism: mech.Name,
-				Cycles:    cycles,
-				Requests:  reqs,
-			})
 		}
-		for i := range modelRows {
+		for i := range group {
 			if baselineCycles > 0 {
-				modelRows[i].Normalized = float64(baselineCycles) / float64(modelRows[i].Cycles)
+				group[i].Normalized = float64(baselineCycles) / float64(group[i].Cycles)
 			}
-			if modelRows[i].Mechanism == "guarder" && iommuReqs > 0 {
-				modelRows[i].RequestsVsIOMMU = float64(modelRows[i].Requests) / float64(iommuReqs)
+			if group[i].Mechanism == "guarder" && iommuReqs > 0 {
+				group[i].RequestsVsIOMMU = float64(group[i].Requests) / float64(iommuReqs)
 			}
 		}
-		res.Rows = append(res.Rows, modelRows...)
 	}
-	return res, nil
+	return &Fig13Result{Rows: rows}, nil
 }
 
 // Slowdown reports 1 - Normalized as a percentage for a row.

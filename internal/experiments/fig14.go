@@ -63,24 +63,27 @@ func Fig14(models []workload.Workload, cfg npu.Config) (*Fig14Result, error) {
 		}
 		return r.Makespan(), nil
 	}
-	for _, w := range models {
-		for _, gran := range fig14Grans {
-			flushed, err := run(w, gran, true)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%s: %w", w.Name, gran, err)
-			}
-			clean, err := run(w, gran, false)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%s baseline: %w", w.Name, gran, err)
-			}
-			res.Rows = append(res.Rows, Fig14Row{
-				Model:       w.Name,
-				Granularity: gran.String(),
-				Cycles:      flushed,
-				Normalized:  float64(flushed) / float64(clean),
-			})
+	rows, err := runCells(len(models)*len(fig14Grans), func(i int) (Fig14Row, error) {
+		w, gran := models[i/len(fig14Grans)], fig14Grans[i%len(fig14Grans)]
+		flushed, err := run(w, gran, true)
+		if err != nil {
+			return Fig14Row{}, fmt.Errorf("fig14 %s/%s: %w", w.Name, gran, err)
 		}
+		clean, err := run(w, gran, false)
+		if err != nil {
+			return Fig14Row{}, fmt.Errorf("fig14 %s/%s baseline: %w", w.Name, gran, err)
+		}
+		return Fig14Row{
+			Model:       w.Name,
+			Granularity: gran.String(),
+			Cycles:      flushed,
+			Normalized:  float64(flushed) / float64(clean),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

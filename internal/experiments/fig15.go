@@ -52,12 +52,20 @@ type Fig15Result struct {
 // sNPU's ID-based dynamic allocation, normalizing each workload to its
 // solo run with the full scratchpad.
 func Fig15(cfg npu.Config) (*Fig15Result, error) {
-	res := &Fig15Result{}
-	solo := map[string]sim.Cycle{}
-	soloCycles := func(name string) (sim.Cycle, error) {
-		if c, ok := solo[name]; ok {
-			return c, nil
+	groups := Fig15Groups()
+	// Phase 1: solo full-scratchpad baselines, one cell per distinct
+	// model.
+	var names []string
+	seen := map[string]bool{}
+	for _, grp := range groups {
+		for _, n := range []string{grp.Trusted, grp.Untrusted} {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
 		}
+	}
+	soloCycles, err := mapCells(names, func(name string) (sim.Cycle, error) {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return 0, err
@@ -66,52 +74,54 @@ func Fig15(cfg npu.Config) (*Fig15Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		solo[name] = c
 		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	solo := map[string]sim.Cycle{}
+	for i, n := range names {
+		solo[n] = soloCycles[i]
 	}
 
+	// Phase 2: the (group, policy) grid, one spatial pair per cell.
 	policies := append(driver.StaticPartitions(), driver.DynamicPolicy())
-	for gi, grp := range Fig15Groups() {
+	rows, err := runCells(len(groups)*len(policies), func(i int) (Fig15Row, error) {
+		gi, grp, pol := i/len(policies), groups[i/len(policies)], policies[i%len(policies)]
 		wa, err := workload.ByName(grp.Trusted)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
 		wb, err := workload.ByName(grp.Untrusted)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
-		soloA, err := soloCycles(grp.Trusted)
+		soloA, soloB := solo[grp.Trusted], solo[grp.Untrusted]
+		soc, err := NewSoC(cfg, nil)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
-		soloB, err := soloCycles(grp.Untrusted)
+		r, err := driver.RunSpatialPair(soc.NPU, wa, wb, pol, soloA, soloB)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, fmt.Errorf("fig15 %s+%s/%s: %w", grp.Trusted, grp.Untrusted, pol.Name, err)
 		}
-		for _, pol := range policies {
-			soc, err := NewSoC(cfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			r, err := driver.RunSpatialPair(soc.NPU, wa, wb, pol, soloA, soloB)
-			if err != nil {
-				return nil, fmt.Errorf("fig15 %s+%s/%s: %w", grp.Trusted, grp.Untrusted, pol.Name, err)
-			}
-			row := Fig15Row{
-				Group:     fmt.Sprintf("group%d", gi+1),
-				Policy:    pol.Name,
-				FractionA: r.FractionA,
-			}
-			row.Trusted.Model = grp.Trusted
-			row.Trusted.Cycles = r.CyclesA
-			row.Trusted.Normalized = float64(r.CyclesA) / float64(soloA)
-			row.Untrusted.Model = grp.Untrusted
-			row.Untrusted.Cycles = r.CyclesB
-			row.Untrusted.Normalized = float64(r.CyclesB) / float64(soloB)
-			res.Rows = append(res.Rows, row)
+		row := Fig15Row{
+			Group:     fmt.Sprintf("group%d", gi+1),
+			Policy:    pol.Name,
+			FractionA: r.FractionA,
 		}
+		row.Trusted.Model = grp.Trusted
+		row.Trusted.Cycles = r.CyclesA
+		row.Trusted.Normalized = float64(r.CyclesA) / float64(soloA)
+		row.Untrusted.Model = grp.Untrusted
+		row.Untrusted.Cycles = r.CyclesB
+		row.Untrusted.Normalized = float64(r.CyclesB) / float64(soloB)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig15Result{Rows: rows}, nil
 }
 
 // TableString renders the figure.

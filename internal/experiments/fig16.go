@@ -38,8 +38,8 @@ var fig16Sizes = []int{1, 4, 16, 64, 256, 1024}
 // The software-NoC numbers assume the ideal case — the NPU is the only
 // DRAM client — matching the paper's micro-test setup.
 func Fig16(cfg npu.Config) (*Fig16Result, error) {
-	res := &Fig16Result{}
-	for _, lines := range fig16Sizes {
+	cells, err := mapCells(fig16Sizes, func(lines int) ([]Fig16Row, error) {
+		var rows []Fig16Row
 		bytes := uint64(lines * cfg.SpadLineBytes)
 
 		// Software NoC: producer mvout + consumer mvin on an idle DRAM
@@ -56,7 +56,7 @@ func Fig16(cfg npu.Config) (*Fig16Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Rows = append(res.Rows, fig16Row("software-noc", lines, loadDone, bytes))
+			rows = append(rows, fig16Row("software-noc", lines, loadDone, bytes))
 		}
 
 		// Direct NoC, unauthorized and peephole.
@@ -74,8 +74,16 @@ func Fig16(cfg npu.Config) (*Fig16Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Rows = append(res.Rows, fig16Row(method.name, lines, done, bytes))
+			rows = append(rows, fig16Row(method.name, lines, done, bytes))
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	for _, rows := range cells {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

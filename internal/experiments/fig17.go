@@ -35,57 +35,60 @@ const fig17ShmVA = 0x8100_0000
 // Fig17 runs each model over a 2x2 core block under three transfer
 // methods: the unauthorized direct NoC, the peephole NoC, and the
 // software NoC through shared memory.
+// fig17Methods is the transfer-method comparison set; the first entry
+// is the normalization baseline.
+var fig17Methods = []struct {
+	name     string
+	peephole bool
+	mode     npu.TransferMode
+}{
+	{"unauthorized-noc", false, npu.TransferNoC},
+	{"peephole-noc", true, npu.TransferNoC},
+	{"software-noc", false, npu.TransferSharedMemory},
+}
+
 func Fig17(models []workload.Workload, cfg npu.Config) (*Fig17Result, error) {
-	res := &Fig17Result{}
-	for _, w := range models {
-		var baseline sim.Cycle
-		var rows []Fig17Row
-		for _, method := range []struct {
-			name     string
-			peephole bool
-			mode     npu.TransferMode
-		}{
-			{"unauthorized-noc", false, npu.TransferNoC},
-			{"peephole-noc", true, npu.TransferNoC},
-			{"software-noc", false, npu.TransferSharedMemory},
-		} {
-			mcfg := cfg
-			mcfg.Peephole = method.peephole
-			soc, err := NewSoC(mcfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			// A 2x2 block on the 5-wide mesh: cores 0,1 (row 0) and
-			// 5,6 (row 1).
-			coreIDs := []int{0, 1, 5, 6}
-			if method.peephole {
-				// Secure the block so its members authenticate mutually.
-				if err := soc.NPU.SetCoreDomains(soc.Machine.SecureContext(), coreIDs, 1); err != nil {
-					return nil, err
-				}
-			}
-			r, err := soc.NPU.RunModelParallel(w, coreIDs, method.mode, fig17ShmVA, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s/%s: %w", w.Name, method.name, err)
-			}
-			if method.name == "unauthorized-noc" {
-				baseline = r.TotalCycles
-			}
-			rows = append(rows, Fig17Row{
-				Model:          w.Name,
-				Method:         method.name,
-				Cycles:         r.TotalCycles,
-				TransferCycles: r.TransferCycles,
-			})
+	rows, err := runCells(len(models)*len(fig17Methods), func(i int) (Fig17Row, error) {
+		w, method := models[i/len(fig17Methods)], fig17Methods[i%len(fig17Methods)]
+		mcfg := cfg
+		mcfg.Peephole = method.peephole
+		soc, err := NewSoC(mcfg, nil)
+		if err != nil {
+			return Fig17Row{}, err
 		}
-		for i := range rows {
-			if baseline > 0 {
-				rows[i].Normalized = float64(rows[i].Cycles) / float64(baseline)
+		// A 2x2 block on the 5-wide mesh: cores 0,1 (row 0) and
+		// 5,6 (row 1).
+		coreIDs := []int{0, 1, 5, 6}
+		if method.peephole {
+			// Secure the block so its members authenticate mutually.
+			if err := soc.NPU.SetCoreDomains(soc.Machine.SecureContext(), coreIDs, 1); err != nil {
+				return Fig17Row{}, err
 			}
 		}
-		res.Rows = append(res.Rows, rows...)
+		r, err := soc.NPU.RunModelParallel(w, coreIDs, method.mode, fig17ShmVA, nil)
+		if err != nil {
+			return Fig17Row{}, fmt.Errorf("fig17 %s/%s: %w", w.Name, method.name, err)
+		}
+		return Fig17Row{
+			Model:          w.Name,
+			Method:         method.name,
+			Cycles:         r.TotalCycles,
+			TransferCycles: r.TransferCycles,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	for m := 0; m < len(models); m++ {
+		group := rows[m*len(fig17Methods) : (m+1)*len(fig17Methods)]
+		baseline := group[0].Cycles // unauthorized-noc
+		for i := range group {
+			if baseline > 0 {
+				group[i].Normalized = float64(group[i].Cycles) / float64(baseline)
+			}
+		}
+	}
+	return &Fig17Result{Rows: rows}, nil
 }
 
 // TableString renders the figure.

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzPlanJSON drives the fault-plan decoder with arbitrary bytes.
+// Plans arrive from the untrusted command line (snpu-sim -faults), so
+// the property is: malformed input must return an error, never panic,
+// and anything accepted must survive a write/read round trip
+// unchanged. Run longer with `go test -fuzz=FuzzPlanJSON
+// ./internal/fault`; CI runs a short smoke.
+func FuzzPlanJSON(f *testing.F) {
+	// Seeds: a generated plan, a handwritten one, and malformed shapes
+	// that previously looked plausible (bad kind, negative cycle,
+	// unknown field, truncation, type confusion).
+	var valid bytes.Buffer
+	if err := WritePlan(&valid, Generate(42, 1_000_000, UniformRates(10))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"events":[]}`))
+	f.Add([]byte(`{"seed":3,"events":[{"at":10,"kind":"dram-bit-flip","sel":1,"bit":7}]}`))
+	f.Add([]byte(`{"events":[{"at":10,"kind":"not-a-kind"}]}`))
+	f.Add([]byte(`{"events":[{"at":-1,"kind":"noc-drop"}]}`))
+	f.Add([]byte(`{"events":[{"at":10,"kind":"noc-drop"}],"extra":true}`))
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte(`{"events":"nope"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, ev := range p.Events {
+			if ev.At < 0 {
+				t.Fatalf("accepted event at negative cycle %d", ev.At)
+			}
+			if _, err := KindFromString(ev.Kind.String()); err != nil {
+				t.Fatalf("accepted event with unprintable kind %v", ev.Kind)
+			}
+			// Pick must stay in range for any selector the plan carries.
+			if i := ev.Pick(7); i < 0 || i >= 7 {
+				t.Fatalf("Pick out of range: %d", i)
+			}
+		}
+		// Round trip: what we accept, we must reproduce byte-stably.
+		var out bytes.Buffer
+		if err := WritePlan(&out, p); err != nil {
+			t.Fatalf("rewriting accepted plan: %v", err)
+		}
+		back, err := ReadPlan(&out)
+		if err != nil {
+			t.Fatalf("re-reading written plan: %v", err)
+		}
+		if len(back.Events) != len(p.Events) || back.Seed != p.Seed {
+			t.Fatalf("round trip changed the plan: %d/%d events, seed %d/%d",
+				len(p.Events), len(back.Events), p.Seed, back.Seed)
+		}
+		for i := range back.Events {
+			if back.Events[i] != p.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, p.Events[i], back.Events[i])
+			}
+		}
+	})
+}
+
+// TestReadPlanRejectsMalformed pins the decoder's error behavior for
+// the corpus shapes outside fuzzing (so plain `go test` covers them).
+func TestReadPlanRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`{"events":[{"at":10,"kind":"not-a-kind"}]}`,
+		`{"events":[{"at":-1,"kind":"noc-drop"}]}`,
+		`{"events":[{"at":10,"kind":"noc-drop"}],"extra":true}`,
+		`{"events":"nope"}`,
+		``,
+		`{`,
+	}
+	for _, s := range bad {
+		if _, err := ReadPlan(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadPlan(%q) accepted malformed input", s)
+		}
+	}
+	good := `{"seed":3,"events":[{"at":10,"kind":"dram-bit-flip","sel":1,"bit":7}]}`
+	p, err := ReadPlan(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ReadPlan rejected valid plan: %v", err)
+	}
+	if len(p.Events) != 1 || p.Events[0].At != sim.Cycle(10) {
+		t.Fatalf("decoded plan wrong: %+v", p)
+	}
+}

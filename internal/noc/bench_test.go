@@ -1,0 +1,63 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMeshSend measures the per-packet cost of the NoC hot path:
+// route computation, per-link claims, and stats bookkeeping.
+func BenchmarkMeshSend(b *testing.B) {
+	b.ReportAllocs()
+	stats := sim.NewStats()
+	m, err := NewMesh(DefaultConfig(4, 4, false), stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := Coord{X: 0, Y: 0}
+	dst := Coord{X: 3, Y: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Send(Packet{Src: src, Dst: dst, Flits: 8}, sim.Cycle(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeshSendPeephole adds the authentication check to the
+// per-packet path.
+func BenchmarkMeshSendPeephole(b *testing.B) {
+	b.ReportAllocs()
+	stats := sim.NewStats()
+	m, err := NewMesh(DefaultConfig(4, 4, true), stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := Coord{X: 0, Y: 0}
+	dst := Coord{X: 2, Y: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Send(Packet{Src: src, Dst: dst, Flits: 4}, sim.Cycle(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticast measures the tree-multicast path used by the
+// model-parallel all-gather.
+func BenchmarkMulticast(b *testing.B) {
+	b.ReportAllocs()
+	stats := sim.NewStats()
+	m, err := NewMesh(DefaultConfig(2, 2, false), stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsts := []Coord{{X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Multicast(Packet{Src: Coord{}, Flits: 8}, dsts, sim.Cycle(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,14 +40,15 @@ func (m *Mesh) Multicast(pkt Packet, dsts []Coord, at sim.Cycle) (sim.Cycle, err
 			m.stats.Add(sim.CtrNoCAuthPass, int64(len(dsts)))
 		}
 	}
-	// Build the multicast tree: the union of the XY paths' links.
-	links := make(map[linkKey]bool)
+	// Build the multicast tree: the union of the XY paths' links,
+	// deduplicated over the dense link index.
+	tree := make(map[int]bool)
 	maxHops := 0
 	for _, dst := range dsts {
 		if lock, locked := m.locks[dst]; locked && *lock != pkt.Src {
 			return 0, fmt.Errorf("%w: dst %v locked to %v", ErrChannelLocked, dst, *lock)
 		}
-		path, err := m.Route(pkt.Src, dst)
+		path, err := m.route(nil, pkt.Src, dst, false)
 		if err != nil {
 			return 0, err
 		}
@@ -55,19 +56,26 @@ func (m *Mesh) Multicast(pkt Packet, dsts []Coord, at sim.Cycle) (sim.Cycle, err
 			maxHops = h
 		}
 		for i := 0; i+1 < len(path); i++ {
-			links[linkKey{path[i], path[i+1]}] = true
+			tree[m.linkIndex(path[i], path[i+1])] = true
 		}
 	}
 	flitCycles := sim.Cycle(pkt.Flits) * sim.Cycle(FlitBytes/m.cfg.LinkBytesPerCycle)
 	if flitCycles < sim.Cycle(pkt.Flits) {
 		flitCycles = sim.Cycle(pkt.Flits)
 	}
+	// Claim the tree in two order-independent passes: find the cycle at
+	// which every branch link is free, then occupy them all from it.
+	// Claiming while folding the running max (the old single pass) let
+	// Go's random map-iteration order leak into per-link nextFree state,
+	// making later transfers' timing nondeterministic run-to-run.
 	start := at
-	for lk := range links {
-		s := m.links[lk].Claim(start, flitCycles)
-		if s > start {
-			start = s
+	for idx := range tree {
+		if f := m.links[idx].NextFree(); f > start {
+			start = f
 		}
+	}
+	for idx := range tree {
+		m.links[idx].Claim(start, flitCycles)
 	}
 	done := start + sim.Cycle(maxHops)*m.cfg.RouterDelay + flitCycles
 	if m.stats != nil {

@@ -120,13 +120,29 @@ type linkKey struct {
 	from, to Coord
 }
 
+// Directed-link direction codes for the dense link index.
+const (
+	dirEast  = 0 // +X
+	dirWest  = 1 // -X
+	dirNorth = 2 // +Y
+	dirSouth = 3 // -Y
+	numDirs  = 4
+)
+
 // Mesh is the NoC fabric. Node ID states live with the attached NPU
 // cores; the mesh queries them through the IDSource callback so the
 // router sees the *current* core state at authentication time.
+//
+// Links live in a dense slice indexed by (node, direction) rather than
+// a map: Send claims every link on the path per packet, and the map
+// hash of a two-Coord key dominated the per-flit bookkeeping cost.
 type Mesh struct {
 	cfg   Config
-	links map[linkKey]*sim.Resource
+	links []*sim.Resource // indexed by linkIndex; nil at mesh edges
+	dead  []bool          // permanently failed links, same indexing
 	stats *sim.Stats
+	// Resolved counter handles for the per-packet hot path.
+	ctrPackets, ctrFlits, ctrAuthPass, ctrAuthFail *int64
 	// IDSource reports the current ID state of the core at a node.
 	// The multi-core NPU wires this to its cores; tests may stub it.
 	IDSource func(Coord) spad.DomainID
@@ -135,11 +151,29 @@ type Mesh struct {
 	// Delivered packets per destination, for functional receivers.
 	inboxes map[Coord][]Packet
 
-	// Fault state: injector hookup, permanently failed links, and a
+	// Fault state: injector hookup, failed-link count, and a
 	// deterministic link ordering for selector-based targeting.
 	inj       *fault.Injector
-	dead      map[linkKey]bool
+	deadCount int
 	linkOrder []linkKey
+	// Scratch route buffers reused across Sends (the mesh, like every
+	// timed component, is confined to its SoC's single thread).
+	pathBuf, altBuf []Coord
+}
+
+// linkIndex maps a directed link between adjacent nodes to its slot in
+// the dense link slice.
+func (m *Mesh) linkIndex(from, to Coord) int {
+	dir := dirSouth
+	switch {
+	case to.X == from.X+1:
+		dir = dirEast
+	case to.X == from.X-1:
+		dir = dirWest
+	case to.Y == from.Y+1:
+		dir = dirNorth
+	}
+	return (from.Y*m.cfg.Width+from.X)*numDirs + dir
 }
 
 // NewMesh builds the fabric with all links idle.
@@ -152,19 +186,25 @@ func NewMesh(cfg Config, stats *sim.Stats) (*Mesh, error) {
 	}
 	m := &Mesh{
 		cfg:      cfg,
-		links:    make(map[linkKey]*sim.Resource),
 		stats:    stats,
 		IDSource: func(Coord) spad.DomainID { return spad.NonSecure },
 		locks:    make(map[Coord]*Coord),
 		inboxes:  make(map[Coord][]Packet),
 	}
-	m.dead = make(map[linkKey]bool)
+	if stats != nil {
+		m.ctrPackets = stats.Counter(sim.CtrNoCPackets)
+		m.ctrFlits = stats.Counter(sim.CtrNoCFlits)
+		m.ctrAuthPass = stats.Counter(sim.CtrNoCAuthPass)
+		m.ctrAuthFail = stats.Counter(sim.CtrNoCAuthFail)
+	}
+	m.links = make([]*sim.Resource, cfg.Width*cfg.Height*numDirs)
+	m.dead = make([]bool, len(m.links))
 	for x := 0; x < cfg.Width; x++ {
 		for y := 0; y < cfg.Height; y++ {
 			c := Coord{x, y}
 			for _, n := range m.neighbors(c) {
 				lk := linkKey{c, n}
-				m.links[lk] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n))
+				m.links[m.linkIndex(c, n)] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n))
 				m.linkOrder = append(m.linkOrder, lk)
 			}
 		}
@@ -194,18 +234,22 @@ func (m *Mesh) AttachInjector(inj *fault.Injector) { m.inj = inj }
 // how injected NoCLinkDown events land). Traffic reroutes around it or
 // fails closed if no live path remains.
 func (m *Mesh) FailLink(from, to Coord) {
-	lk := linkKey{from, to}
-	if _, ok := m.links[lk]; !ok || m.dead[lk] {
+	if !m.InMesh(from) || !m.InMesh(to) || from.Hops(to) != 1 {
 		return
 	}
-	m.dead[lk] = true
+	idx := m.linkIndex(from, to)
+	if m.links[idx] == nil || m.dead[idx] {
+		return
+	}
+	m.dead[idx] = true
+	m.deadCount++
 	if m.stats != nil {
 		m.stats.Inc(sim.CtrNoCLinksDown)
 	}
 }
 
 // DeadLinks reports how many directed links have failed.
-func (m *Mesh) DeadLinks() int { return len(m.dead) }
+func (m *Mesh) DeadLinks() int { return m.deadCount }
 
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
@@ -233,18 +277,24 @@ func (m *Mesh) InMesh(c Coord) bool {
 }
 
 // Route computes the XY dimension-order path from src to dst,
-// inclusive of both endpoints.
+// inclusive of both endpoints. The returned slice is owned by the
+// caller.
 func (m *Mesh) Route(src, dst Coord) ([]Coord, error) {
-	return m.route(src, dst, false)
+	path, err := m.route(nil, src, dst, false)
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
 }
 
-// route computes a dimension-order path; yFirst selects YX routing
-// (the escape path used around a failed link).
-func (m *Mesh) route(src, dst Coord, yFirst bool) ([]Coord, error) {
+// route computes a dimension-order path into buf (reused when non-nil);
+// yFirst selects YX routing (the escape path used around a failed
+// link).
+func (m *Mesh) route(buf []Coord, src, dst Coord, yFirst bool) ([]Coord, error) {
 	if !m.InMesh(src) || !m.InMesh(dst) {
 		return nil, fmt.Errorf("noc: route %v->%v leaves the %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height)
 	}
-	path := []Coord{src}
+	path := append(buf[:0], src)
 	cur := src
 	stepX := func() {
 		for cur.X != dst.X {
@@ -279,7 +329,7 @@ func (m *Mesh) route(src, dst Coord, yFirst bool) ([]Coord, error) {
 // pathAlive reports whether every link on the path is functional.
 func (m *Mesh) pathAlive(path []Coord) bool {
 	for i := 0; i+1 < len(path); i++ {
-		if m.dead[linkKey{path[i], path[i+1]}] {
+		if m.dead[m.linkIndex(path[i], path[i+1])] {
 			return false
 		}
 	}
@@ -288,18 +338,22 @@ func (m *Mesh) pathAlive(path []Coord) bool {
 
 // pickRoute selects the XY path, escaping to YX routing around dead
 // links; if both dimension orders are blocked the mesh fails closed.
+// The returned slice aliases the mesh's scratch buffers and is valid
+// until the next routing call.
 func (m *Mesh) pickRoute(src, dst Coord) ([]Coord, error) {
-	path, err := m.route(src, dst, false)
+	path, err := m.route(m.pathBuf, src, dst, false)
 	if err != nil {
 		return nil, err
 	}
+	m.pathBuf = path
 	if m.pathAlive(path) {
 		return path, nil
 	}
-	alt, err := m.route(src, dst, true)
+	alt, err := m.route(m.altBuf, src, dst, true)
 	if err != nil {
 		return nil, err
 	}
+	m.altBuf = alt
 	if m.pathAlive(alt) {
 		if m.stats != nil {
 			m.stats.Inc(sim.CtrNoCReroutes)
@@ -344,8 +398,8 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	if err != nil {
 		return 0, err
 	}
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrNoCPackets)
+	if m.ctrPackets != nil {
+		*m.ctrPackets++
 	}
 
 	// Channel lock: once a transfer is authenticated, the receive
@@ -359,14 +413,14 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	if m.cfg.Peephole {
 		dstID := m.IDSource(pkt.Dst)
 		if dstID != pkt.SrcID {
-			if m.stats != nil {
-				m.stats.Inc(sim.CtrNoCAuthFail)
+			if m.ctrAuthFail != nil {
+				*m.ctrAuthFail++
 			}
 			return 0, fmt.Errorf("%w: src %v id=%d, dst %v id=%d",
 				ErrAuthFailed, pkt.Src, pkt.SrcID, pkt.Dst, dstID)
 		}
-		if m.stats != nil {
-			m.stats.Inc(sim.CtrNoCAuthPass)
+		if m.ctrAuthPass != nil {
+			*m.ctrAuthPass++
 		}
 	}
 
@@ -383,15 +437,15 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	start := at
 	for attempt := 0; ; attempt++ {
 		for i := 0; i+1 < len(path); i++ {
-			link := m.links[linkKey{path[i], path[i+1]}]
+			link := m.links[m.linkIndex(path[i], path[i+1])]
 			s := link.Claim(start, flitCycles)
 			if s > start {
 				start = s
 			}
 		}
 		done := start + sim.Cycle(hops)*m.cfg.RouterDelay + flitCycles
-		if m.stats != nil {
-			m.stats.Add(sim.CtrNoCFlits, int64(pkt.Flits))
+		if m.ctrFlits != nil {
+			*m.ctrFlits += int64(pkt.Flits)
 		}
 
 		if _, ok := m.inj.Take(fault.NoCDrop, done); ok {
@@ -464,6 +518,9 @@ func (m *Mesh) Receive(dst Coord) []Packet {
 func (m *Mesh) LinkUtilization(horizon sim.Cycle) float64 {
 	var max float64
 	for _, l := range m.links {
+		if l == nil {
+			continue
+		}
 		if u := l.Utilization(horizon); u > max {
 			max = u
 		}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -26,28 +25,61 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap ordered by (at, seq), stored by value.
+// It is hand-rolled rather than container/heap so Push/Pop move values
+// in the backing slice instead of boxing a pointer per event through
+// an interface — the event queue is the simulator's hottest allocation
+// site.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push appends e and sifts it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the callback for GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event simulator.
@@ -78,7 +110,7 @@ func (e *Engine) Schedule(at Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn delay cycles from now.
@@ -91,7 +123,7 @@ func (e *Engine) After(delay Cycle, fn func()) {
 func (e *Engine) Run() Cycle {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -102,7 +134,7 @@ func (e *Engine) Run() Cycle {
 // limit stay queued. It returns the final cycle (<= limit).
 func (e *Engine) RunUntil(limit Cycle) Cycle {
 	for len(e.events) > 0 && e.events[0].at <= limit && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 	}

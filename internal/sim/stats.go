@@ -8,33 +8,59 @@ import (
 
 // Stats is a named-counter sink shared across components. Counters are
 // created on first use; reads of unknown counters return zero. It is
-// not safe for concurrent use — the simulator is single-threaded.
+// not safe for concurrent use — each simulated SoC is single-threaded
+// (parallel experiment cells each own a private Stats).
+//
+// Counters are stored behind stable *int64 cells so hot components can
+// resolve a name once with Counter and increment through the pointer,
+// skipping the per-event map lookup. Reset zeroes the cells in place,
+// keeping outstanding handles valid.
 type Stats struct {
-	counters map[string]int64
+	counters map[string]*int64
 }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]int64)}
+	return &Stats{counters: make(map[string]*int64)}
+}
+
+// Counter returns the stable cell for name, creating it at zero on
+// first use. The pointer stays valid across Reset (which zeroes it),
+// so components may cache it for the lifetime of the Stats.
+func (s *Stats) Counter(name string) *int64 {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := new(int64)
+	s.counters[name] = c
+	return c
 }
 
 // Add increments counter name by delta.
 func (s *Stats) Add(name string, delta int64) {
-	s.counters[name] += delta
+	*s.Counter(name) += delta
 }
 
 // Inc increments counter name by one.
 func (s *Stats) Inc(name string) { s.Add(name, 1) }
 
 // Get reads counter name, zero if never written.
-func (s *Stats) Get(name string) int64 { return s.counters[name] }
+func (s *Stats) Get(name string) int64 {
+	if c, ok := s.counters[name]; ok {
+		return *c
+	}
+	return 0
+}
 
 // Set overwrites counter name.
-func (s *Stats) Set(name string, v int64) { s.counters[name] = v }
+func (s *Stats) Set(name string, v int64) { *s.Counter(name) = v }
 
-// Reset clears every counter.
+// Reset zeroes every counter in place; handles returned by Counter
+// remain valid and read zero afterwards.
 func (s *Stats) Reset() {
-	s.counters = make(map[string]int64)
+	for _, c := range s.counters {
+		*c = 0
+	}
 }
 
 // Names returns the sorted counter names.
@@ -51,7 +77,7 @@ func (s *Stats) Names() []string {
 func (s *Stats) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(s.counters))
 	for k, v := range s.counters {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -60,7 +86,7 @@ func (s *Stats) Snapshot() map[string]int64 {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, name := range s.Names() {
-		fmt.Fprintf(&b, "%s=%d\n", name, s.counters[name])
+		fmt.Fprintf(&b, "%s=%d\n", name, s.Get(name))
 	}
 	return b.String()
 }

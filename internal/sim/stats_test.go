@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Edge cases for the counter sink: the Counter handle contract,
+// overflow wrap-around, and Reset keeping outstanding handles live.
+
+func TestStatsCounterHandleStableAcrossReset(t *testing.T) {
+	s := NewStats()
+	c := s.Counter("x")
+	*c = 41
+	*c++
+	if got := s.Get("x"); got != 42 {
+		t.Fatalf("Get after handle writes = %d, want 42", got)
+	}
+	s.Reset()
+	if *c != 0 {
+		t.Fatalf("handle reads %d after Reset, want 0", *c)
+	}
+	// The handle must still be THE cell for "x", not a stale copy.
+	*c = 7
+	if got := s.Get("x"); got != 7 {
+		t.Fatalf("Get after post-Reset handle write = %d, want 7 (handle detached)", got)
+	}
+	if c2 := s.Counter("x"); c2 != c {
+		t.Fatal("Counter returned a different cell for the same name")
+	}
+}
+
+func TestStatsResetClearsEveryCounter(t *testing.T) {
+	s := NewStats()
+	s.Add("a", 1)
+	s.Add("b", 2)
+	s.Set("c", -3)
+	s.Reset()
+	for _, name := range []string{"a", "b", "c"} {
+		if got := s.Get(name); got != 0 {
+			t.Errorf("Get(%q) after Reset = %d, want 0", name, got)
+		}
+	}
+	// Names survive Reset (counters are zeroed, not dropped), so a
+	// post-Reset snapshot still enumerates the schema.
+	if got := len(s.Names()); got != 3 {
+		t.Errorf("Names() after Reset has %d entries, want 3", got)
+	}
+}
+
+func TestStatsOverflowWraps(t *testing.T) {
+	// Counters are int64 and wrap on overflow per Go semantics; pin
+	// that so nobody "fixes" it into a saturating or panicking path
+	// without noticing (cycle math downstream assumes two's complement).
+	s := NewStats()
+	s.Set("big", math.MaxInt64)
+	s.Add("big", 1)
+	if got := s.Get("big"); got != math.MinInt64 {
+		t.Fatalf("MaxInt64+1 = %d, want wraparound to MinInt64", got)
+	}
+	s.Set("small", math.MinInt64)
+	s.Add("small", -1)
+	if got := s.Get("small"); got != math.MaxInt64 {
+		t.Fatalf("MinInt64-1 = %d, want wraparound to MaxInt64", got)
+	}
+}
+
+func TestStatsGetUnknownIsZeroAndDoesNotCreate(t *testing.T) {
+	s := NewStats()
+	if got := s.Get("never-written"); got != 0 {
+		t.Fatalf("Get(unknown) = %d, want 0", got)
+	}
+	if got := len(s.Names()); got != 0 {
+		t.Fatalf("Get created a counter: Names() = %v", s.Names())
+	}
+}
+
+func TestStatsStringSortedOutput(t *testing.T) {
+	s := NewStats()
+	s.Set("zz", 1)
+	s.Set("aa", 2)
+	s.Set("mm", 3)
+	out := s.String()
+	want := "aa=2\nmm=3\nzz=1\n"
+	if out != want {
+		t.Fatalf("String() = %q, want %q", out, want)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("String() must end with a newline per line")
+	}
+}
+
+func TestStatsEmptySnapshotAndString(t *testing.T) {
+	s := NewStats()
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty Snapshot = %v", snap)
+	}
+	if out := s.String(); out != "" {
+		t.Fatalf("empty String = %q", out)
+	}
+}

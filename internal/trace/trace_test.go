@@ -76,3 +76,76 @@ func TestExportChromeFormat(t *testing.T) {
 		t.Fatalf("event = %+v", e)
 	}
 }
+
+// --- Edge cases: empty trace, zero/negative spans, sort stability ---
+
+func TestEmptyRecorderExportsValidJSON(t *testing.T) {
+	r := New(0)
+	var buf bytes.Buffer
+	if err := r.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("empty export must carry an empty traceEvents array, not null")
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty recorder exported %d events", len(doc.TraceEvents))
+	}
+	if r.Len() != 0 || len(r.Events()) != 0 || len(r.Totals()) != 0 {
+		t.Fatal("empty recorder reports phantom events")
+	}
+}
+
+func TestZeroAndInstantSpans(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "instant", Kind: KindOther, Start: 10, End: 10})
+	if d := r.Events()[0].Duration(); d != 0 {
+		t.Fatalf("instant duration = %d", d)
+	}
+	if got := r.Totals()[KindOther]; got != 0 {
+		t.Fatalf("instant total = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := r.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsSortIsStableForEqualStarts(t *testing.T) {
+	// Same-start events must keep recording order (SliceStable), so a
+	// re-export of the same run is byte-identical.
+	r := New(0)
+	for i, name := range []string{"first", "second", "third"} {
+		r.Record(Event{Name: name, Kind: KindNoC, Core: i, Start: 50, End: 60})
+	}
+	evs := r.Events()
+	if evs[0].Name != "first" || evs[1].Name != "second" || evs[2].Name != "third" {
+		t.Fatalf("same-start order not stable: %v", evs)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "x", Start: 1, End: 2})
+	evs := r.Events()
+	evs[0].Name = "mutated"
+	if r.Events()[0].Name != "x" {
+		t.Fatal("Events() exposed internal storage")
+	}
+}
+
+func TestCapZeroMeansUnbounded(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 10_000; i++ {
+		r.Record(Event{Name: "x", Start: 0, End: 1})
+	}
+	if r.Len() != 10_000 {
+		t.Fatalf("unbounded recorder dropped events: %d", r.Len())
+	}
+}
