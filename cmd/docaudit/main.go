@@ -1,0 +1,37 @@
+// Command docaudit runs the repository's documentation audit
+// (internal/doccheck): every package doc must anchor itself to a paper
+// section (§...) or declare itself "beyond the paper". CI runs it next
+// to go vet; a non-zero exit lists the offending packages.
+//
+// Usage:
+//
+//	docaudit            # audit the current directory's module
+//	docaudit -root path # audit another checkout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/doccheck"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to audit")
+	flag.Parse()
+
+	vs, err := doccheck.Check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docaudit:", err)
+		os.Exit(2)
+	}
+	for _, v := range vs {
+		fmt.Fprintln(os.Stderr, "docaudit:", v)
+	}
+	if len(vs) > 0 {
+		fmt.Fprintf(os.Stderr, "docaudit: %d package(s) lack a paper anchor\n", len(vs))
+		os.Exit(1)
+	}
+	fmt.Println("docaudit: all package docs carry a paper anchor")
+}

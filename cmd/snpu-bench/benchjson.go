@@ -48,6 +48,11 @@ type BenchSnapshot struct {
 	SeqTotalWallNS int64 `json:"seq_total_wall_ns,omitempty"`
 	// Speedup is SeqTotalWallNS / TotalWallNS when both were measured.
 	Speedup float64 `json:"speedup,omitempty"`
+	// MetricsOverheadPct is the observability layer's measured
+	// enabled-vs-disabled wall-time overhead in percent, present when
+	// the snapshot was taken with -metrics-overhead. CI gates it at
+	// metricsOverheadLimitPct.
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct,omitempty"`
 }
 
 // measureExperiment runs one spec, capturing wall time, cell count,

@@ -44,6 +44,9 @@ type options struct {
 	models   []workload.Workload
 	markdown bool
 	seed     int64
+	// metricsDir, when set, exports per-experiment metrics files
+	// (<exp>.prom + <exp>.json) aggregated over the experiment's SoCs.
+	metricsDir string
 }
 
 // section is one titled output block.
@@ -183,7 +186,19 @@ func runSuite(w io.Writer, opts options) ([]BenchExperiment, error) {
 			continue
 		}
 		ran = true
-		m, sections, err := measureExperiment(spec, opts)
+		var m BenchExperiment
+		var sections []section
+		runOne := func() error {
+			var err error
+			m, sections, err = measureExperiment(spec, opts)
+			return err
+		}
+		var err error
+		if opts.metricsDir != "" {
+			err = collectExperimentMetrics(opts.metricsDir, spec.name, runOne)
+		} else {
+			err = runOne()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.name, err)
 		}
@@ -208,6 +223,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a perf snapshot (wall-time per experiment, cells/sec, allocs) to this file")
 	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: also run sequentially first and record the -j speedup")
 	benchAgainst := flag.String("bench-against", "", "compare wall-times against a committed snapshot; exit 1 on a >2x regression")
+	metricsDir := flag.String("metrics-dir", "", "write per-experiment metrics (Prometheus text + JSON) into this directory")
+	metricsOverhead := flag.Bool("metrics-overhead", false, "measure the observability layer's enabled-vs-disabled overhead; exit 1 above 2%")
 	flag.Parse()
 
 	out := io.Writer(os.Stdout)
@@ -240,14 +257,37 @@ func main() {
 		}
 	}
 
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fatal(err)
+		}
+		// Only the main pass exports metrics; the sequential reference
+		// pass above would overwrite them with identical bytes anyway.
+		opts.metricsDir = *metricsDir
+	}
+
 	experiments.SetWorkers(*jobs)
 	measured, err := runSuite(out, opts)
 	if err != nil {
 		fatal(err)
 	}
 
+	var overheadPct float64
+	if *metricsOverhead {
+		pct, err := measureMetricsOverhead()
+		if err != nil {
+			fatal(err)
+		}
+		overheadPct = pct
+		fmt.Fprintf(os.Stderr, "snpu-bench: metrics overhead %.2f%% enabled vs disabled (limit %.1f%%)\n",
+			pct, metricsOverheadLimitPct)
+	}
+
 	if *benchJSON != "" {
 		snap := newSnapshot(*jobs, measured, seqTotal)
+		if *metricsOverhead {
+			snap.MetricsOverheadPct = overheadPct
+		}
 		if err := writeSnapshot(*benchJSON, snap); err != nil {
 			fatal(err)
 		}
@@ -264,6 +304,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "snpu-bench: no wall-time regressions vs", *benchAgainst)
+	}
+	if overheadPct > metricsOverheadLimitPct {
+		fmt.Fprintf(os.Stderr, "snpu-bench: REGRESSION: metrics overhead %.2f%% exceeds the %.1f%% budget\n",
+			overheadPct, metricsOverheadLimitPct)
+		os.Exit(1)
 	}
 }
 

@@ -21,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	snpu "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -35,6 +38,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome-trace JSON timeline to this file")
 	modelFile := flag.String("model-file", "", "run a custom workload described in this JSON file")
 	faultsFile := flag.String("faults", "", "install the fault plan in this JSON file before running")
+	metricsOut := flag.String("metrics", "", "write run metrics: Prometheus text to this file, JSON alongside with a .json extension")
 	seed := flag.Int64("seed", 1, "deterministic seed for sealing-key derivation; same seed = identical run")
 	flag.Parse()
 
@@ -45,6 +49,11 @@ func main() {
 	sys, err := snpu.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsOut != "" {
+		// Spans ride along only when a -trace timeline was requested;
+		// the plain metrics path stays within the <2% overhead budget.
+		sys.EnableObservability(obs.Config{Spans: *traceOut != ""})
 	}
 
 	var plan fault.Plan
@@ -87,6 +96,7 @@ func main() {
 			fmt.Println("\nhardware counters:")
 			fmt.Print(sys.Stats().String())
 		}
+		dumpMetrics(sys, *metricsOut)
 		return
 	}
 	if *traceOut != "" {
@@ -134,6 +144,7 @@ func main() {
 				fmt.Println("\nhardware counters:")
 				fmt.Print(sys.Stats().String())
 			}
+			dumpMetrics(sys, *metricsOut)
 			return
 		}
 		res, err = sys.RunSecure(handle)
@@ -156,6 +167,41 @@ func main() {
 		fmt.Println("\nhardware counters:")
 		fmt.Print(sys.Stats().String())
 	}
+	dumpMetrics(sys, *metricsOut)
+}
+
+// dumpMetrics writes the run's metrics registry as Prometheus text to
+// path and as JSON next to it (extension swapped for .json). A no-op
+// when -metrics was not given.
+func dumpMetrics(sys *snpu.System, path string) {
+	o := sys.Observer()
+	if o == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := o.Registry().WritePrometheus(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	jsonPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".json"
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := o.Registry().WriteJSON(jf); err != nil {
+		jf.Close()
+		fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics written to %s and %s\n", path, jsonPath)
 }
 
 func printResult(res snpu.InferenceResult, mode string) {

@@ -1,4 +1,5 @@
-// Package cache models the SoC's shared L2 (Table II: 2 MB, 8 banks):
+// Package cache models the SoC's shared L2 (§VI Table II: 2 MB, 8
+// banks):
 // a physically indexed, set-associative, banked cache sitting between
 // the NPU's DMA engines and the DRAM channel. NPU streams mostly blow
 // through it, but reused tiles (the A-tile reload traffic the tiler

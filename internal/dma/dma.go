@@ -1,5 +1,5 @@
 // Package dma models the NPU's integrated DMA engine (a Type-1
-// integrated NPU in the paper's Fig. 2 taxonomy): it moves tiles
+// integrated NPU in the paper's §II Fig. 2 taxonomy): it moves tiles
 // between system DRAM and the scratchpad, going through a pluggable
 // access-control unit (xlate.Translator — IOMMU, Guarder, or none) on
 // every request.
@@ -18,8 +18,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
+	"repro/internal/trace"
 	"repro/internal/xlate"
 )
 
@@ -92,6 +94,14 @@ type Engine struct {
 	stats *sim.Stats
 	l2    *cache.L2 // optional shared L2 in front of DRAM
 	inj   *fault.Injector
+
+	// Observability: pre-resolved instruments, nil unless AttachObserver
+	// was called. core labels this engine's spans on the timeline.
+	obsXfer  *obs.Histogram
+	obsRetry *obs.Counter
+	obsRec   *trace.Recorder
+	obsProf  *obs.Profiler
+	core     int
 }
 
 // AttachL2 routes this engine's traffic through a shared L2: hits are
@@ -101,6 +111,48 @@ func (e *Engine) AttachL2(l2 *cache.L2) { e.l2 = l2 }
 // AttachInjector points the engine at a fault injector; DRAM bit-flip
 // and stall events land on the next request at/after their cycle.
 func (e *Engine) AttachInjector(inj *fault.Injector) { e.inj = inj }
+
+// AttachObserver wires the engine into an observability layer: a span
+// per burst, a dma.xfer.cycles histogram of end-to-end request
+// latency, a dma.retry.count counter of watchdog reissues, and a
+// dma.chan.backlog profiling hook sampling how far ahead the shared
+// DRAM channel is booked. core labels this engine's spans. Nil
+// detaches.
+func (e *Engine) AttachObserver(o *obs.Observer, core int) {
+	if o == nil {
+		e.obsXfer, e.obsRetry, e.obsRec, e.obsProf = nil, nil, nil, nil
+		return
+	}
+	e.core = core
+	e.obsXfer = o.Registry().Histogram("dma.xfer.cycles", obs.DefaultCycleBuckets())
+	e.obsRetry = o.Registry().Counter("dma.retry.count")
+	e.obsRec = o.Trace()
+	e.obsProf = o.Profiler()
+	e.obsProf.Register("dma.chan.backlog", func(now sim.Cycle) int64 {
+		if b := e.chan_.NextFree() - now; b > 0 {
+			return int64(b)
+		}
+		return 0
+	})
+}
+
+// recordXfer puts one completed burst on the span timeline and in the
+// latency histogram.
+func (e *Engine) recordXfer(dir Direction, at, done sim.Cycle) {
+	if e.obsXfer == nil {
+		return
+	}
+	e.obsXfer.Observe(int64(done - at))
+	if e.obsRec != nil {
+		name := "dma.mvin"
+		if dir == ToMemory {
+			name = "dma.mvout"
+		}
+		e.obsRec.Record(trace.Event{
+			Name: name, Kind: trace.KindDMA, Core: e.core, Start: at, End: done,
+		})
+	}
+}
 
 // New wires a DMA engine to its translator, the shared DRAM channel,
 // and physical memory (used only by functional transfers).
@@ -170,6 +222,8 @@ func (e *Engine) Do(req Request, sp *spad.Scratchpad, domain spad.DomainID, at s
 			return 0, err
 		}
 	}
+	e.obsProf.MaybeSample(at)
+	e.recordXfer(req.Dir, at, done)
 	return done, nil
 }
 
@@ -193,6 +247,9 @@ func (e *Engine) applyStalls(issue sim.Cycle) (sim.Cycle, error) {
 		}
 		if e.stats != nil {
 			e.stats.Inc(sim.CtrDMARetries)
+		}
+		if e.obsRetry != nil {
+			e.obsRetry.Inc()
 		}
 		issue += backoff
 		if backoff < e.cfg.WatchdogCycles*8 {
@@ -288,6 +345,8 @@ func (e *Engine) DoPipelined(reqs []Request, sp *spad.Scratchpad, domain spad.Do
 			}
 		}
 	}
+	e.obsProf.MaybeSample(at)
+	e.recordXfer(reqs[0].Dir, at, lastEnd+e.cfg.RequestLatency)
 	return lastEnd + e.cfg.RequestLatency, nil
 }
 

@@ -1,0 +1,113 @@
+// Package doccheck is the go vet-style documentation audit behind
+// cmd/docaudit and the CI docs gate: every internal/* package (and the
+// root package) must carry a package doc comment that maps it onto the
+// source paper — either a section anchor ("§VI", "§II-B", ...) or the
+// explicit phrase "beyond the paper" for subsystems the reproduction
+// adds on its own (fault injection, observability, chaos testing).
+//
+// The check keeps DESIGN.md honest by construction: a new package
+// cannot land without declaring where it sits relative to the paper,
+// and the anchor gives godoc readers the section to open next.
+package doccheck
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// sectionAnchor matches a paper section reference: the section sign
+// followed by a roman numeral, e.g. §II, §IV-C, §VI.
+var sectionAnchor = regexp.MustCompile(`§[IVX]+`)
+
+// beyondPaper is the opt-out phrase for subsystems the reproduction
+// adds beyond the paper's scope.
+const beyondPaper = "beyond the paper"
+
+// Violation is one package failing the audit.
+type Violation struct {
+	// Dir is the package directory relative to the checked root.
+	Dir string
+	// Reason says what is missing.
+	Reason string
+}
+
+func (v Violation) String() string { return v.Dir + ": " + v.Reason }
+
+// Check audits the module rooted at root: the root package itself plus
+// every package under root/internal. It returns one Violation per
+// package whose doc comment is absent or carries neither a §-section
+// anchor nor the "beyond the paper" phrase. Test files never supply
+// package docs. Directories without Go files are skipped.
+func Check(root string) ([]Violation, error) {
+	dirs := []string{root}
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && path != filepath.Join(root, "internal") {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Violation
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		doc, hasGo, err := packageDoc(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rel, err)
+		}
+		if !hasGo {
+			continue
+		}
+		switch {
+		case strings.TrimSpace(doc) == "":
+			out = append(out, Violation{Dir: rel, Reason: "no package doc comment"})
+		case !sectionAnchor.MatchString(doc) && !strings.Contains(doc, beyondPaper):
+			out = append(out, Violation{Dir: rel,
+				Reason: fmt.Sprintf("package doc has no paper anchor (want a §-section reference or the phrase %q)", beyondPaper)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// packageDoc returns the concatenated package doc comments of the
+// non-test Go files in dir, and whether dir holds any non-test Go file
+// at all. Only the package clause is parsed, so the check stays fast
+// and works on files that may not compile in isolation.
+func packageDoc(dir string) (doc string, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false, err
+	}
+	fset := token.NewFileSet()
+	var docs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return "", hasGo, err
+		}
+		if f.Doc != nil {
+			docs = append(docs, f.Doc.Text())
+		}
+	}
+	return strings.Join(docs, "\n"), hasGo, nil
+}

@@ -1,0 +1,72 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The audit over this repository itself must be clean — this is the
+// same gate CI runs via cmd/docaudit.
+func TestRepositoryDocsAreAnchored(t *testing.T) {
+	vs, err := Check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+func writePkg(t *testing.T, root, dir, src string) {
+	t.Helper()
+	full := filepath.Join(root, dir)
+	if err := os.MkdirAll(full, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(full, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsMissingAnchors(t *testing.T) {
+	root := t.TempDir()
+	writePkg(t, root, ".", "// Package demo reproduces the paper (§VI).\npackage demo\n")
+	writePkg(t, root, "internal/good", "// Package good models §IV-C.\npackage good\n")
+	writePkg(t, root, "internal/extra", "// Package extra is beyond the paper.\npackage extra\n")
+	writePkg(t, root, "internal/nodoc", "package nodoc\n")
+	writePkg(t, root, "internal/vague", "// Package vague does things.\npackage vague\n")
+	// A directory with no Go files is skipped.
+	if err := os.MkdirAll(filepath.Join(root, "internal", "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want exactly nodoc and vague", vs)
+	}
+	if vs[0].Dir != filepath.Join("internal", "nodoc") || vs[1].Dir != filepath.Join("internal", "vague") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestCheckIgnoresTestFileDocs(t *testing.T) {
+	root := t.TempDir()
+	writePkg(t, root, ".", "// Package demo reproduces the paper (§VI).\npackage demo\n")
+	writePkg(t, root, "internal/p", "package p\n")
+	// A doc comment on a _test.go file must not satisfy the audit.
+	if err := os.WriteFile(filepath.Join(root, "internal", "p", "p_test.go"),
+		[]byte("// Package p tests §VI.\npackage p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want the undocumented internal/p", vs)
+	}
+}

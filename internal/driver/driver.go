@@ -4,7 +4,8 @@
 // hardware, and schedules tasks onto cores — time-shared at op-kernel
 // granularity or spatially across cores.
 //
-// Nothing in this package is in the TCB. Secure tasks flow through the
+// Nothing in this package is in the TCB (the untrusted software of
+// the paper's §III threat model). Secure tasks flow through the
 // NPU Monitor (internal/monitor) instead; the driver merely transports
 // them (the trampoline's untrusted end).
 package driver

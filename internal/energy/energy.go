@@ -3,7 +3,8 @@
 // picojoule-per-event costs multiplied by the hardware counters the
 // simulation already collects. The absolute numbers use standard
 // published per-operation estimates for a ~28 nm-class SoC; the claims
-// built on them are relative (e.g., Fig. 13(b)'s point that per-packet
+// built on them are relative (e.g., §VI Fig. 13(b)'s point that
+// per-packet
 // IOTLB lookups burn measurable power that per-request Guarder checks
 // do not).
 package energy

@@ -166,11 +166,14 @@ func AblationMulticast(cfg npu.Config) (*AblationResult, error) {
 	}
 	block := []noc.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}
 	for _, lines := range []int{16, 64, 256} {
-		uni, err := noc.NewMesh(noc.DefaultConfig(2, 2, false), sim.NewStats())
+		uniStats, multiStats := sim.NewStats(), sim.NewStats()
+		RecordSoCStats(uniStats)
+		RecordSoCStats(multiStats)
+		uni, err := noc.NewMesh(noc.DefaultConfig(2, 2, false), uniStats)
 		if err != nil {
 			return nil, err
 		}
-		multi, err := noc.NewMesh(noc.DefaultConfig(2, 2, false), sim.NewStats())
+		multi, err := noc.NewMesh(noc.DefaultConfig(2, 2, false), multiStats)
 		if err != nil {
 			return nil, err
 		}

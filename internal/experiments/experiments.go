@@ -65,6 +65,7 @@ func NewSoC(cfg npu.Config, makeXlate func(core int) xlate.Translator) (*SoC, er
 	if err != nil {
 		return nil, err
 	}
+	RecordSoCStats(stats)
 	return &SoC{Phys: phys, Machine: machine, Stats: stats, NPU: acc}, nil
 }
 

@@ -46,6 +46,7 @@ func Fig16(cfg npu.Config) (*Fig16Result, error) {
 		// channel.
 		{
 			stats := sim.NewStats()
+			RecordSoCStats(stats)
 			channel := sim.NewResource("dram")
 			eng := dma.New(cfg.DMAConfig(), xlate.NewIdentity(stats), channel, mem.NewPhysical(), stats)
 			storeDone, err := eng.Do(dma.Request{VA: 0x8000_0000, Bytes: bytes, Dir: dma.ToMemory}, nil, spad.NonSecure, 0)
@@ -65,6 +66,7 @@ func Fig16(cfg npu.Config) (*Fig16Result, error) {
 			peephole bool
 		}{{"unauthorized-noc", false}, {"peephole-noc", true}} {
 			stats := sim.NewStats()
+			RecordSoCStats(stats)
 			mesh, err := noc.NewMesh(noc.DefaultConfig(2, 1, method.peephole), stats)
 			if err != nil {
 				return nil, err

@@ -1,5 +1,6 @@
 // Package fault is the deterministic fault-injection subsystem of the
-// simulated SoC. A Plan schedules hardware faults — DRAM word bit
+// simulated SoC (beyond the paper; it stresses the §IV recovery
+// mechanisms the evaluation only exercises on the happy path). A Plan schedules hardware faults — DRAM word bit
 // flips, NoC flit corruption/drops, permanent link failures, DMA
 // request stalls, IOTLB entry corruption, scratchpad bit flips, and
 // core hangs — at simulated cycles against named sites. Components
@@ -28,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Kind names one fault site/failure mode pair.
@@ -134,6 +136,22 @@ type Injector struct {
 	injected  int64
 	now       sim.Cycle
 	stats     *sim.Stats
+	// Observability: span sink, nil unless AttachTrace was called. The
+	// injector takes the resolved recorder rather than an obs.Observer
+	// so the fault package stays below obs in the import graph
+	// (obs-instrumented components like the NoC import fault). Fired
+	// counts already flow to exports through the stats sink
+	// (fault.injected and its per-kind variants).
+	obsRec *trace.Recorder
+}
+
+// AttachTrace wires the injector into a span timeline: every fired
+// event lands as a fault-kind span from its scheduled cycle to the
+// cycle it actually hit a site. Safe on nil; a nil recorder detaches.
+func (i *Injector) AttachTrace(rec *trace.Recorder) {
+	if i != nil {
+		i.obsRec = rec
+	}
 }
 
 // NewInjector arms an injector with a plan. Events are stably sorted
@@ -202,6 +220,14 @@ func (i *Injector) Take(k Kind, now sim.Cycle) (Event, bool) {
 	if i.stats != nil {
 		i.stats.Inc(sim.CtrFaultsInjected)
 		i.stats.Inc(sim.CtrFaultsInjected + "." + k.String())
+	}
+	if i.obsRec != nil {
+		// Span from the scheduled cycle to the access that absorbed it —
+		// the injection-to-landing latency of the pull model.
+		i.obsRec.Record(trace.Event{
+			Name: "fault." + k.String(), Kind: trace.KindFault,
+			Start: ev.At, End: now,
+		})
 	}
 	return ev, true
 }

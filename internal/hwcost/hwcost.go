@@ -1,4 +1,5 @@
-// Package hwcost is the analytic FPGA-resource model behind Fig. 18:
+// Package hwcost is the analytic FPGA-resource model behind §VI
+// Fig. 18:
 // it counts the storage bits, registers, and comparator logic each
 // protection mechanism adds to a baseline NPU tile and expresses them
 // as LUT/FF/BRAM estimates. The absolute numbers are first-order

@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/xlate"
 )
 
@@ -53,6 +55,11 @@ type IOMMU struct {
 	curTask int
 	// WalkStallCycles accumulates total stall for reporting.
 	WalkStallCycles sim.Cycle
+
+	// Observability: pre-resolved instruments, nil unless AttachObserver
+	// was called.
+	obsWalk *obs.Histogram
+	obsRec  *trace.Recorder
 }
 
 // New builds an IOMMU over its IO page table.
@@ -74,6 +81,18 @@ func New(cfg Config, stats *sim.Stats) *IOMMU {
 // AttachInjector points the IOMMU at a fault injector; IOTLB
 // corruption events land on the next translation at/after their cycle.
 func (u *IOMMU) AttachInjector(inj *fault.Injector) { u.inj = inj }
+
+// AttachObserver wires the IOMMU into an observability layer: an
+// iotlb.walk.cycles histogram of per-translation walk stall plus a
+// span per translation that actually walked. Nil detaches.
+func (u *IOMMU) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		u.obsWalk, u.obsRec = nil, nil
+		return
+	}
+	u.obsWalk = o.Registry().Histogram("iotlb.walk.cycles", obs.DefaultCycleBuckets())
+	u.obsRec = o.Trace()
+}
 
 // Table exposes the IO page table so the (untrusted) driver can map
 // DMA buffers, and the TEE path can install secure mappings.
@@ -185,5 +204,12 @@ func (u *IOMMU) Translate(req xlate.Request, at sim.Cycle) (xlate.Result, error)
 		u.stats.Add(sim.CtrTranslationStall, int64(stall))
 	}
 	u.WalkStallCycles += stall
+	if stall > 0 && u.obsWalk != nil {
+		u.obsWalk.Observe(int64(stall))
+		u.obsRec.Record(trace.Event{
+			Name: "iotlb.walk", Kind: trace.KindIOTLB, Core: req.TaskID,
+			Start: at, End: at + stall,
+		})
+	}
 	return xlate.Result{PA: basePA, Stall: stall}, nil
 }

@@ -1,4 +1,5 @@
-// Package iommu models the "TrustZone NPU" baseline access controller:
+// Package iommu models the "TrustZone NPU" baseline access controller
+// the paper compares against (§II, §VI-B):
 // a three-level IO page table held in DRAM, an IOTLB with a
 // configurable number of entries and LRU replacement, a hardware page
 // walker whose memory accesses stall the DMA pipeline, and the

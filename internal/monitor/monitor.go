@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/tee"
@@ -62,6 +63,35 @@ type Monitor struct {
 	tasks  map[int]*SecureTask
 	nextID int
 	stats  *sim.Stats
+
+	// Observability: pre-resolved counters, nil unless AttachObserver
+	// was called.
+	obsCalls, obsAborts, obsRejects *obs.Counter
+}
+
+// AttachObserver wires the monitor into an observability layer:
+// monitor.call.count per trampoline entry, monitor.abort.count per
+// fail-closed teardown, monitor.reject.count per refused request. Nil
+// detaches.
+func (m *Monitor) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		m.obsCalls, m.obsAborts, m.obsRejects = nil, nil, nil
+		return
+	}
+	scope := o.Registry().Scope("monitor")
+	m.obsCalls = scope.Counter("call.count")
+	m.obsAborts = scope.Counter("abort.count")
+	m.obsRejects = scope.Counter("reject.count")
+}
+
+// call counts one trampoline entry into the monitor.
+func (m *Monitor) call() {
+	if m.stats != nil {
+		m.stats.Inc(sim.CtrMonitorCalls)
+	}
+	if m.obsCalls != nil {
+		m.obsCalls.Inc()
+	}
 }
 
 // New builds the monitor. It refuses to run on a machine that has not
@@ -115,9 +145,7 @@ type TaskSpec struct {
 // model, measure the program against the owner's expectation, allocate
 // the task's secure-memory chunk, and enqueue it.
 func (m *Monitor) Submit(spec TaskSpec) (int, error) {
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrMonitorCalls)
-	}
+	m.call()
 	if spec.Program == nil {
 		return 0, m.reject(fmt.Errorf("monitor: nil program"))
 	}
@@ -168,9 +196,7 @@ func (m *Monitor) Submit(spec TaskSpec) (int, error) {
 // overlap, flip the cores' ID states, and program each core's Guarder
 // with the task's translation window and checking authority.
 func (m *Monitor) Load(taskID int, cores []int, spadFrom, spadTo int) error {
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrMonitorCalls)
-	}
+	m.call()
 	task, ok := m.tasks[taskID]
 	if !ok {
 		return m.reject(ErrUnknownTask)
@@ -246,9 +272,7 @@ func (m *Monitor) Load(taskID int, cores []int, spadFrom, spadTo int) error {
 // Unload releases a task: reset the cores to non-secure, scrub the
 // secure scratchpad lines, free the chunk.
 func (m *Monitor) Unload(taskID int) error {
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrMonitorCalls)
-	}
+	m.call()
 	task, ok := m.tasks[taskID]
 	if !ok {
 		return m.reject(ErrUnknownTask)
@@ -294,15 +318,16 @@ func (m *Monitor) Unload(taskID int) error {
 // leaves nothing for the normal world to find. The untrusted driver
 // observes only an opaque "task gone" condition.
 func (m *Monitor) Abort(taskID int) error {
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrMonitorCalls)
-	}
+	m.call()
 	task, ok := m.tasks[taskID]
 	if !ok {
 		return m.reject(ErrUnknownTask)
 	}
 	if m.stats != nil {
 		m.stats.Inc(sim.CtrMonitorAborts)
+	}
+	if m.obsAborts != nil {
+		m.obsAborts.Inc()
 	}
 	if task.Loaded {
 		for _, ci := range task.Cores {
@@ -382,9 +407,7 @@ func (m *Monitor) SetupPlatform(reservedBase mem.PhysAddr, reservedSize uint64, 
 // not apply any software checks and rely only on the hardware
 // mechanisms").
 func (m *Monitor) MapNonSecure(core int, slot int, vbase mem.VirtAddr, pbase mem.PhysAddr, size uint64) error {
-	if m.stats != nil {
-		m.stats.Inc(sim.CtrMonitorCalls)
-	}
+	m.call()
 	g, ok := m.guarders[core]
 	if !ok {
 		return m.reject(fmt.Errorf("monitor: core %d has no guarder", core))
@@ -431,6 +454,9 @@ func (m *Monitor) ModelBytes(ctx tee.Context, taskID int) ([]byte, error) {
 func (m *Monitor) reject(err error) error {
 	if m.stats != nil {
 		m.stats.Inc(sim.CtrMonitorRejected)
+	}
+	if m.obsRejects != nil {
+		m.obsRejects.Inc()
 	}
 	return err
 }

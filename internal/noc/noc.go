@@ -18,8 +18,10 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
+	"repro/internal/trace"
 )
 
 // Coord addresses a node in the mesh.
@@ -159,6 +161,12 @@ type Mesh struct {
 	// Scratch route buffers reused across Sends (the mesh, like every
 	// timed component, is confined to its SoC's single thread).
 	pathBuf, altBuf []Coord
+
+	// Observability: pre-resolved instruments, nil unless AttachObserver
+	// was called (the off-by-default contract — one nil check per event).
+	obsStall *obs.Histogram
+	obsRec   *trace.Recorder
+	obsProf  *obs.Profiler
 }
 
 // linkIndex maps a directed link between adjacent nodes to its slot in
@@ -229,6 +237,36 @@ func NewMesh(cfg Config, stats *sim.Stats) (*Mesh, error) {
 // events hit in-flight packets, link-down events permanently kill a
 // link chosen by the event's selector.
 func (m *Mesh) AttachInjector(inj *fault.Injector) { m.inj = inj }
+
+// AttachObserver wires the mesh into an observability layer: a send
+// span per delivered packet, a noc.link.stall_cycles histogram of
+// per-attempt contention stalls, and a noc.link.occupancy profiling
+// hook sampling the busiest link's claim backlog. Nil detaches.
+func (m *Mesh) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		m.obsStall, m.obsRec, m.obsProf = nil, nil, nil
+		return
+	}
+	m.obsStall = o.Registry().Histogram("noc.link.stall_cycles", obs.DefaultCycleBuckets())
+	m.obsRec = o.Trace()
+	m.obsProf = o.Profiler()
+	m.obsProf.Register("noc.link.occupancy", m.linkBacklog)
+}
+
+// linkBacklog reports how many cycles past now the most contended
+// link is already claimed — the mesh's instantaneous congestion depth.
+func (m *Mesh) linkBacklog(now sim.Cycle) int64 {
+	var max sim.Cycle
+	for _, l := range m.links {
+		if l == nil {
+			continue
+		}
+		if b := l.NextFree() - now; b > max {
+			max = b
+		}
+	}
+	return int64(max)
+}
 
 // FailLink permanently kills the directed link from->to (and is also
 // how injected NoCLinkDown events land). Traffic reroutes around it or
@@ -401,6 +439,7 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	if m.ctrPackets != nil {
 		*m.ctrPackets++
 	}
+	m.obsProf.MaybeSample(at)
 
 	// Channel lock: once a transfer is authenticated, the receive
 	// channel rejects other sources until the tail flit (modeled as
@@ -436,12 +475,16 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 	// loop body reduces exactly to the fault-free cost model.
 	start := at
 	for attempt := 0; ; attempt++ {
+		reqStart := start
 		for i := 0; i+1 < len(path); i++ {
 			link := m.links[m.linkIndex(path[i], path[i+1])]
 			s := link.Claim(start, flitCycles)
 			if s > start {
 				start = s
 			}
+		}
+		if m.obsStall != nil {
+			m.obsStall.Observe(int64(start - reqStart))
 		}
 		done := start + sim.Cycle(hops)*m.cfg.RouterDelay + flitCycles
 		if m.ctrFlits != nil {
@@ -472,6 +515,7 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 					pkt.Payload = corrupted
 				}
 				m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
+				m.recordSend(pkt, at, done)
 				return done, nil
 			}
 			if m.stats != nil {
@@ -491,8 +535,25 @@ func (m *Mesh) Send(pkt Packet, at sim.Cycle) (sim.Cycle, error) {
 		if pkt.Payload != nil {
 			m.inboxes[pkt.Dst] = append(m.inboxes[pkt.Dst], pkt)
 		}
+		m.recordSend(pkt, at, done)
 		return done, nil
 	}
+}
+
+// recordSend puts one delivered packet on the span timeline, tracked
+// to the destination node's linear index. The static name keeps the
+// per-packet cost allocation-free.
+func (m *Mesh) recordSend(pkt Packet, at, done sim.Cycle) {
+	if m.obsRec == nil {
+		return
+	}
+	m.obsRec.Record(trace.Event{
+		Name:  "noc.send",
+		Kind:  trace.KindNoC,
+		Core:  pkt.Dst.Y*m.cfg.Width + pkt.Dst.X,
+		Start: at,
+		End:   done,
+	})
 }
 
 // LockChannel pins dst's receive channel to src (set after a

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/tee"
@@ -60,6 +61,11 @@ type Core struct {
 	stats  *sim.Stats
 	pipe   pipeline
 	inj    *fault.Injector
+
+	// Observability: the attached observer (nil = off) and the
+	// pre-resolved compute-tile latency histogram the executor feeds.
+	obs     *obs.Observer
+	obsTile *obs.Histogram
 }
 
 // AttachInjector arms this tile with a fault injector: its
@@ -74,6 +80,27 @@ func (c *Core) AttachInjector(inj *fault.Injector) {
 		a.AttachInjector(inj)
 	}
 }
+
+// AttachObserver wires this tile into an observability layer: its DMA
+// engine, its translator when the translator is instrumented (the
+// IOMMU's walk histogram and spans), and an npu.tile.cycles histogram
+// of compute-tile latency fed by the executor. Executors created after
+// attachment record their spans into the observer's timeline. Nil
+// detaches.
+func (c *Core) AttachObserver(o *obs.Observer) {
+	c.obs = o
+	c.obsTile = nil
+	if o != nil {
+		c.obsTile = o.Registry().Histogram("npu.tile.cycles", obs.DefaultCycleBuckets())
+	}
+	c.dmaEng.AttachObserver(o, c.id)
+	if a, ok := c.dmaEng.Translator().(interface{ AttachObserver(*obs.Observer) }); ok {
+		a.AttachObserver(o)
+	}
+}
+
+// Observer returns the tile's attached observability layer (nil = off).
+func (c *Core) Observer() *obs.Observer { return c.obs }
 
 // ResetPipeline returns the core's execution units to idle (the start
 // of an independent measurement run).

@@ -49,9 +49,11 @@ type Exec struct {
 }
 
 // NewExec binds a program to a core. taskID feeds the translator's
-// context-switch detection.
+// context-switch detection. When the core carries an observer, the
+// executor's spans default onto the observer's timeline (Trace remains
+// overridable).
 func NewExec(core *Core, prog *Program, taskID int) *Exec {
-	return &Exec{core: core, prog: prog, taskID: taskID}
+	return &Exec{core: core, prog: prog, taskID: taskID, Trace: core.obs.Trace()}
 }
 
 // Done reports whether the whole program has executed.
@@ -161,6 +163,9 @@ func (e *Exec) RunUntil(from sim.Cycle, boundary Boundary) (sim.Cycle, error) {
 			if e.core.stats != nil {
 				e.core.stats.Add(sim.CtrComputeMACs, op.MACs)
 				e.core.stats.Add(sim.CtrComputeCycles, int64(op.Cycles))
+			}
+			if e.core.obsTile != nil {
+				e.core.obsTile.Observe(int64(op.Cycles))
 			}
 			pipe.prevComputeEnd[0] = pipe.prevComputeEnd[1]
 			pipe.prevComputeEnd[1] = end

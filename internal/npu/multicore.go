@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/tee"
@@ -91,6 +92,16 @@ func (n *NPU) AttachInjector(inj *fault.Injector) {
 	n.mesh.AttachInjector(inj)
 	for _, c := range n.cores {
 		c.AttachInjector(inj)
+	}
+}
+
+// AttachObserver wires the whole accelerator into an observability
+// layer: the NoC mesh and every tile (DMA engines, translators,
+// compute histograms). Nil detaches.
+func (n *NPU) AttachObserver(o *obs.Observer) {
+	n.mesh.AttachObserver(o)
+	for _, c := range n.cores {
+		c.AttachObserver(o)
 	}
 }
 

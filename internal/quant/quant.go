@@ -1,5 +1,5 @@
 // Package quant provides the int8 quantization arithmetic an
-// integer-only NPU stack needs: affine (scale + zero-point)
+// integer-only NPU stack (the §II accelerator model) needs: affine (scale + zero-point)
 // quantization of float tensors, dequantization, and the fixed-point
 // requantization step that folds a layer's int32 accumulator output
 // back into int8 activations for the next layer.

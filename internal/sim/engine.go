@@ -1,5 +1,6 @@
 // Package sim provides the discrete-event simulation substrate used by
-// every timed component in the sNPU reproduction: a cycle clock, an
+// every timed component in the sNPU reproduction (the cycle accounting
+// beneath every §VI figure): a cycle clock, an
 // event heap, serialized resources with FIFO contention, and named
 // statistics counters.
 //

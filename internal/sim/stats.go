@@ -124,21 +124,50 @@ const (
 	CtrTranslationStall = "xlate.stall_cycles"
 
 	// Fault injection, detection, and recovery.
-	CtrFaultsInjected     = "fault.injected"
-	CtrECCCorrected       = "mem.ecc_corrected"
-	CtrECCUncorrectable   = "mem.ecc_uncorrectable"
-	CtrSpadParityErrors   = "spad.parity_errors"
-	CtrIOTLBParityErrors  = "iotlb.parity_errors"
-	CtrNoCCRCFail         = "noc.crc_fail"
-	CtrNoCDrops           = "noc.drops"
-	CtrNoCRetries         = "noc.retries"
-	CtrNoCReroutes        = "noc.reroutes"
-	CtrNoCLinksDown       = "noc.links_down"
-	CtrDMATimeouts        = "dma.timeouts"
-	CtrDMARetries         = "dma.retries"
-	CtrCoreHangs          = "npu.core_hangs"
-	CtrMonitorAborts      = "monitor.aborts"
-	CtrTaskRestarts       = "recovery.task_restarts"
-	CtrRecoveredFaults    = "recovery.recovered"
-	CtrUnrecoveredFaults  = "recovery.unrecovered"
+	CtrFaultsInjected    = "fault.injected"
+	CtrECCCorrected      = "mem.ecc_corrected"
+	CtrECCUncorrectable  = "mem.ecc_uncorrectable"
+	CtrSpadParityErrors  = "spad.parity_errors"
+	CtrIOTLBParityErrors = "iotlb.parity_errors"
+	CtrNoCCRCFail        = "noc.crc_fail"
+	CtrNoCDrops          = "noc.drops"
+	CtrNoCRetries        = "noc.retries"
+	CtrNoCReroutes       = "noc.reroutes"
+	CtrNoCLinksDown      = "noc.links_down"
+	CtrDMATimeouts       = "dma.timeouts"
+	CtrDMARetries        = "dma.retries"
+	CtrCoreHangs         = "npu.core_hangs"
+	CtrMonitorAborts     = "monitor.aborts"
+	CtrTaskRestarts      = "recovery.task_restarts"
+	CtrRecoveredFaults   = "recovery.recovered"
+	CtrUnrecoveredFaults = "recovery.unrecovered"
 )
+
+// CanonicalCounters lists every named counter above, one per
+// instrumentation site, in declaration order. The observability layer
+// materializes them all at enable time so a metrics dump always
+// covers the full component namespace (noc.*, dma.*, npu.*, iotlb.*,
+// monitor.*, ...), with zeros for sites the run never touched.
+func CanonicalCounters() []string {
+	return []string{
+		CtrDRAMRequests, CtrDRAMBytes,
+		CtrDMARequests, CtrDMAPackets, CtrDMABytes,
+		CtrIOTLBLookups, CtrIOTLBHits, CtrIOTLBMisses, CtrIOTLBFlushes,
+		CtrPageWalks, CtrPageWalkCycles,
+		CtrGuarderChecks, CtrGuarderDenied,
+		CtrSpadReads, CtrSpadWrites, CtrSpadDenied, CtrSpadFlushBytes,
+		CtrNoCPackets, CtrNoCFlits, CtrNoCAuthPass, CtrNoCAuthFail,
+		CtrComputeCycles, CtrComputeMACs,
+		CtrMonitorCalls, CtrMonitorRejected,
+		CtrCtxSwitches,
+		CtrTranslations, CtrTranslationStall,
+		CtrFaultsInjected,
+		CtrECCCorrected, CtrECCUncorrectable,
+		CtrSpadParityErrors, CtrIOTLBParityErrors,
+		CtrNoCCRCFail, CtrNoCDrops, CtrNoCRetries, CtrNoCReroutes, CtrNoCLinksDown,
+		CtrDMATimeouts, CtrDMARetries,
+		CtrCoreHangs,
+		CtrMonitorAborts,
+		CtrTaskRestarts, CtrRecoveredFaults, CtrUnrecoveredFaults,
+	}
+}

@@ -1,5 +1,5 @@
 // Package taskimage defines the serialized secure-task package the
-// untrusted driver ships through the trampoline's shared memory: the
+// untrusted driver ships through the §IV trampoline's shared memory: the
 // compiled op stream, the owner's expected measurement, the sealed
 // model, and the required NoC topology, framed with a magic, version,
 // and length-prefixed sections.

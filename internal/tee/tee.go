@@ -1,5 +1,5 @@
 // Package tee models the CPU-side trusted execution environment the
-// paper builds on (Penglai-style on RISC-V): a two-world hardware
+// paper builds on (§II background; Penglai-style on RISC-V): a two-world hardware
 // partition, PMP-like region registers enforced by the most privileged
 // mode, a secure-boot measurement chain, and the privilege gate that
 // makes "secure instructions" (the only way to program sNPU security

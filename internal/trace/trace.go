@@ -1,7 +1,16 @@
-// Package trace records simulated execution events (DMA batches,
-// compute tiles, NoC transfers, flushes) and exports them as a
-// Chrome-trace JSON file (chrome://tracing, Perfetto), giving the
-// simulator a profiler-grade timeline view.
+// Package trace records simulated execution spans (DMA batches,
+// compute tiles, NoC transfers, IOTLB walks, fault landings, Monitor
+// recovery actions) and exports them as a Chrome-trace JSON file
+// (chrome://tracing, Perfetto), giving the simulator the
+// profiler-grade timeline view behind the paper's cycle accounting
+// (§VI, Figs. 13–17: where stall cycles and extra traffic go).
+//
+// Spans are grouped into *epochs* — phases of a run such as the
+// checkpoint-restart attempts of the Monitor's recovery ladder
+// (DESIGN.md §6). Events recorded before the first BeginEpoch are
+// never dropped: they belong to an implicit "pre" epoch, so a
+// component that starts emitting spans before the run's phase
+// structure is known loses nothing.
 package trace
 
 import (
@@ -16,12 +25,15 @@ import (
 // Kind classifies an event.
 type Kind string
 
-// Event kinds emitted by the executors.
+// Event kinds emitted by the executors and the observability layer.
 const (
 	KindCompute Kind = "compute"
 	KindDMA     Kind = "dma"
 	KindNoC     Kind = "noc"
 	KindFlush   Kind = "flush"
+	KindIOTLB   Kind = "iotlb"
+	KindFault   Kind = "fault"
+	KindMonitor Kind = "monitor"
 	KindOther   Kind = "other"
 )
 
@@ -32,10 +44,21 @@ type Event struct {
 	Core  int
 	Start sim.Cycle
 	End   sim.Cycle
+	// Epoch is the index into the recorder's epoch list, assigned by
+	// Record from the recorder's current epoch (any value set by the
+	// caller is overwritten).
+	Epoch int
 }
 
 // Duration is the span length.
 func (e Event) Duration() sim.Cycle { return e.End - e.Start }
+
+// Epoch is one named phase of a run (the implicit index-0 "pre"
+// epoch, a restart attempt, ...).
+type Epoch struct {
+	Name  string
+	Start sim.Cycle
+}
 
 // Recorder accumulates events. The zero value is unusable; New
 // returns a ready recorder. A nil *Recorder is safe to record into
@@ -44,6 +67,8 @@ func (e Event) Duration() sim.Cycle { return e.End - e.Start }
 type Recorder struct {
 	events []Event
 	cap    int
+	epochs []Epoch
+	cur    int
 }
 
 // New returns a recorder holding at most capacity events (0 =
@@ -53,7 +78,35 @@ func New(capacity int) *Recorder {
 	return &Recorder{cap: capacity}
 }
 
-// Record appends one event.
+// BeginEpoch starts a new named phase at the given cycle; subsequent
+// events belong to it. The first call retroactively pins everything
+// already recorded (and anything recorded by a caller that never
+// begins an epoch) to the implicit "pre" epoch at cycle 0 — early
+// spans are buffered, never silently lost. Safe on nil.
+func (r *Recorder) BeginEpoch(name string, at sim.Cycle) {
+	if r == nil {
+		return
+	}
+	if len(r.epochs) == 0 {
+		r.epochs = append(r.epochs, Epoch{Name: "pre", Start: 0})
+	}
+	r.epochs = append(r.epochs, Epoch{Name: name, Start: at})
+	r.cur = len(r.epochs) - 1
+}
+
+// Epochs returns the epoch list. A recorder that never saw BeginEpoch
+// reports the single implicit "pre" epoch all its events carry.
+func (r *Recorder) Epochs() []Epoch {
+	if r == nil {
+		return nil
+	}
+	if len(r.epochs) == 0 {
+		return []Epoch{{Name: "pre", Start: 0}}
+	}
+	return append([]Epoch(nil), r.epochs...)
+}
+
+// Record appends one event to the current epoch.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
@@ -61,6 +114,7 @@ func (r *Recorder) Record(e Event) {
 	if r.cap > 0 && len(r.events) >= r.cap {
 		return
 	}
+	e.Epoch = r.cur
 	r.events = append(r.events, e)
 }
 
@@ -95,26 +149,40 @@ func (r *Recorder) Totals() map[Kind]sim.Cycle {
 	return out
 }
 
-// chromeEvent is the Chrome trace-event format's "complete" event.
+// chromeEvent is the Chrome trace-event format's "complete" ("X") or
+// metadata ("M") event.
 type chromeEvent struct {
-	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	Ph   string `json:"ph"`
-	Ts   int64  `json:"ts"`  // microseconds; we emit cycles directly
-	Dur  int64  `json:"dur"` // duration in the same unit
-	PID  int    `json:"pid"`
-	TID  int    `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds; we emit cycles directly
+	Dur  int64          `json:"dur"` // duration in the same unit
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // ExportChrome writes the recorded events in Chrome trace-event JSON.
 // Cycles are emitted as microseconds so a 1 GHz cycle reads as 1 us in
-// the viewer (scale mentally by 1000).
+// the viewer (scale mentally by 1000). Epochs render as separate
+// processes (pid = epoch index + 1) named by metadata events, so a
+// restarted run's attempts stack as parallel tracks.
 func (r *Recorder) ExportChrome(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("trace: nil recorder")
 	}
 	evs := r.Events()
-	out := make([]chromeEvent, 0, len(evs))
+	out := make([]chromeEvent, 0, len(evs)+len(r.epochs))
+	// Epoch name metadata only when epochs were explicitly begun; an
+	// epoch-less trace keeps the original single-process layout.
+	if len(r.epochs) > 0 {
+		for i, ep := range r.epochs {
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", PID: i + 1,
+				Args: map[string]any{"name": fmt.Sprintf("epoch %d: %s", i, ep.Name)},
+			})
+		}
+	}
 	for _, e := range evs {
 		out = append(out, chromeEvent{
 			Name: e.Name,
@@ -122,7 +190,7 @@ func (r *Recorder) ExportChrome(w io.Writer) error {
 			Ph:   "X",
 			Ts:   int64(e.Start),
 			Dur:  int64(e.Duration()),
-			PID:  1,
+			PID:  e.Epoch + 1,
 			TID:  e.Core,
 		})
 	}

@@ -149,3 +149,123 @@ func TestCapZeroMeansUnbounded(t *testing.T) {
 		t.Fatalf("unbounded recorder dropped events: %d", r.Len())
 	}
 }
+
+// --- Epochs: pre-BeginEpoch buffering (regression: events recorded
+// before the first BeginEpoch used to be dropped) ---
+
+func TestPreEpochEventsAreBuffered(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "early-dma", Kind: KindDMA, Start: 5, End: 9})
+	r.Record(Event{Name: "early-noc", Kind: KindNoC, Start: 7, End: 8})
+	r.BeginEpoch("restart-1", 100)
+	r.Record(Event{Name: "late", Kind: KindCompute, Start: 120, End: 130})
+
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (pre-epoch events must not be dropped)", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Epoch != 0 || evs[1].Epoch != 0 {
+		t.Fatalf("pre-BeginEpoch events not pinned to the implicit epoch 0: %+v", evs[:2])
+	}
+	if evs[2].Epoch != 1 {
+		t.Fatalf("post-BeginEpoch event epoch = %d, want 1", evs[2].Epoch)
+	}
+	eps := r.Epochs()
+	if len(eps) != 2 || eps[0].Name != "pre" || eps[0].Start != 0 || eps[1].Name != "restart-1" || eps[1].Start != 100 {
+		t.Fatalf("epochs = %+v", eps)
+	}
+}
+
+func TestEpochlessRecorderReportsImplicitPre(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "x", Start: 1, End: 2})
+	eps := r.Epochs()
+	if len(eps) != 1 || eps[0].Name != "pre" {
+		t.Fatalf("epochs = %+v, want the single implicit pre epoch", eps)
+	}
+	if r.Events()[0].Epoch != 0 {
+		t.Fatal("epoch-less event must carry epoch 0")
+	}
+}
+
+func TestRecordOverwritesCallerEpoch(t *testing.T) {
+	r := New(0)
+	r.BeginEpoch("a", 0)
+	r.Record(Event{Name: "x", Epoch: 99})
+	if got := r.Events()[0].Epoch; got != 1 {
+		t.Fatalf("epoch = %d, want 1 (Record assigns the current epoch)", got)
+	}
+}
+
+func TestNilRecorderEpochsSafe(t *testing.T) {
+	var r *Recorder
+	r.BeginEpoch("x", 0)
+	if r.Epochs() != nil {
+		t.Fatal("nil recorder reported epochs")
+	}
+}
+
+func TestExportChromeEpochMetadata(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Name: "pre-ev", Kind: KindDMA, Start: 0, End: 1})
+	r.BeginEpoch("restart-1", 50)
+	r.Record(Event{Name: "post-ev", Kind: KindCompute, Core: 2, Start: 60, End: 70})
+	var buf bytes.Buffer
+	if err := r.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var meta, spans int
+	pidOf := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			meta++
+			continue
+		}
+		spans++
+		pidOf[e.Name] = e.PID
+	}
+	if meta != 2 {
+		t.Fatalf("metadata events = %d, want 2 (pre + restart-1)", meta)
+	}
+	if spans != 2 {
+		t.Fatalf("span events = %d, want 2", spans)
+	}
+	if pidOf["pre-ev"] != 1 || pidOf["post-ev"] != 2 {
+		t.Fatalf("epoch pids = %v, want pre-ev:1 post-ev:2", pidOf)
+	}
+}
+
+func TestExportChromeNoEpochMetadataWhenEpochless(t *testing.T) {
+	// Back-compat: a recorder that never saw BeginEpoch exports the
+	// original single-process layout with no metadata events.
+	r := New(0)
+	r.Record(Event{Name: "x", Kind: KindCompute, Start: 0, End: 1})
+	var buf bytes.Buffer
+	if err := r.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			t.Fatal("epoch-less export emitted metadata events")
+		}
+	}
+}

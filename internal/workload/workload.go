@@ -1,5 +1,5 @@
 // Package workload describes the six DNN inference workloads the paper
-// evaluates (GoogleNet, AlexNet, YOLO-lite, MobileNet, ResNet, BERT) as
+// evaluates (§VI: GoogleNet, AlexNet, YOLO-lite, MobileNet, ResNet, BERT) as
 // layer-accurate GEMM sequences, and provides the tiling machinery that
 // maps each GEMM onto a systolic-array NPU under a scratchpad budget.
 //

@@ -1,6 +1,6 @@
 // Package xlate defines the memory access-control interface sitting in
 // front of the NPU's DMA engine. Three implementations exist in this
-// repository, matching the paper's comparative systems:
+// repository, matching the paper's §VI comparative systems:
 //
 //   - identity (here): the unprotected "Normal NPU" baseline,
 //   - internal/iommu: the "TrustZone NPU" baseline — an sMMU/IOMMU with

@@ -31,6 +31,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/sim"
 	"repro/internal/spad"
+	"repro/internal/trace"
 )
 
 // ErrTaskAborted is the opaque error the untrusted driver observes
@@ -51,6 +52,7 @@ const DefaultMaxRestarts = 3
 func (s *System) InstallFaultPlan(p fault.Plan) {
 	s.inj = fault.NewInjector(p, s.stats)
 	s.acc.AttachInjector(s.inj)
+	s.inj.AttachTrace(s.obs.Trace())
 	s.phys.EnableECC(s.stats)
 }
 
@@ -96,6 +98,10 @@ func (s *System) RunSecureResilient(h *SecureTaskHandle, maxRestarts int) (rep S
 	lastHangCore := -1
 	consecutive := 0 // failures since the checkpoint last advanced
 	var now sim.Cycle
+	// Recovery actions land on the observability timeline (nil-safe
+	// no-op sink when observability is off); each restart attempt opens
+	// a new trace epoch so the attempts stack as parallel tracks.
+	rec := s.obs.Trace()
 	defer func() {
 		rep.Faults = s.inj.Injected() - injectedBefore
 	}()
@@ -159,6 +165,10 @@ func (s *System) RunSecureResilient(h *SecureTaskHandle, maxRestarts int) (rep S
 		if arep := s.mon.Dispatch(monitor.Call{Func: monitor.FnAbort, Args: []uint64{uint64(h.ID)}}); arep.Err != nil {
 			return rep, arep.Err
 		}
+		rec.Record(trace.Event{
+			Name: "monitor.abort", Kind: trace.KindMonitor, Core: core,
+			Start: now, End: now,
+		})
 
 		if consecutive >= maxRestarts {
 			rep.Aborted = true
@@ -173,6 +183,7 @@ func (s *System) RunSecureResilient(h *SecureTaskHandle, maxRestarts int) (rep S
 		if s.stats != nil {
 			s.stats.Inc(sim.CtrTaskRestarts)
 		}
+		rec.BeginEpoch(fmt.Sprintf("restart-%d", rep.Restarts), now)
 
 		// A core that hangs twice in a row is unhealthy: remap. The
 		// untrusted driver may do this freely — it only ever sees an
@@ -199,6 +210,11 @@ func (s *System) RunSecureResilient(h *SecureTaskHandle, maxRestarts int) (rep S
 			return rep, srep.Err
 		}
 		h.ID = int(srep.Value)
+		restoreFrom := now
 		now += spad.FlushCost(npu.FlushLiveBytes(prog), s.cfg.NPU.DRAMBytesPerCycle, s.cfg.NPU.DRAMLatency, s.stats)
+		rec.Record(trace.Event{
+			Name: "monitor.restore", Kind: trace.KindMonitor, Core: core,
+			Start: restoreFrom, End: now,
+		})
 	}
 }

@@ -2,8 +2,8 @@
 // "sNPU: Trusted Execution Environments on Integrated NPUs"). It
 // assembles the full simulated SoC — a multi-core systolic-array NPU
 // with scratchpads and a NoC, TrustZone-style two-world memory, the
-// three sNPU security mechanisms (NPU Guarder, NPU Isolator, NPU
-// Monitor), the untrusted driver stack, and the six evaluation
+// three sNPU security mechanisms of §IV (NPU Guarder, NPU Isolator,
+// NPU Monitor), the untrusted driver stack, and the six §VI evaluation
 // workloads — behind one constructor.
 //
 //	sys, err := snpu.New(snpu.DefaultConfig())
@@ -29,6 +29,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/tee"
@@ -86,6 +87,8 @@ type System struct {
 	nextSlot map[int]int
 	// inj is the armed fault injector (nil without a plan).
 	inj *fault.Injector
+	// obs is the attached observability layer (nil = off, the default).
+	obs *obs.Observer
 }
 
 // New boots a system: memory regions, secure-boot chain, NPU cores
@@ -124,6 +127,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	experiments.RecordSoCStats(stats)
 	sys := &System{
 		cfg:      cfg,
 		phys:     phys,
@@ -150,6 +154,36 @@ func New(cfg Config) (*System, error) {
 
 // Stats exposes the system-wide counters.
 func (s *System) Stats() *sim.Stats { return s.stats }
+
+// EnableObservability arms the unified observability layer across the
+// whole SoC: the metrics registry aggregates the system counters plus
+// per-component instruments (NoC stall histograms, DMA latency, IOTLB
+// walks, Monitor call/abort/reject counts), executors record spans on
+// the observer's timeline, and profiling hooks sample link occupancy
+// and channel backlog on a fixed cycle cadence. Every canonical
+// hardware counter is materialized up front so a metrics dump always
+// covers the full component namespace, zeros included.
+//
+// Observability is passive — enabling it does not change a single
+// simulated cycle — and stays attached for the system's lifetime.
+func (s *System) EnableObservability(cfg obs.Config) *obs.Observer {
+	o := obs.NewObserver(cfg)
+	for _, name := range sim.CanonicalCounters() {
+		s.stats.Counter(name)
+	}
+	o.Registry().AttachStats(s.stats)
+	s.acc.AttachObserver(o)
+	if s.mon != nil {
+		s.mon.AttachObserver(o)
+	}
+	s.inj.AttachTrace(o.Trace())
+	s.obs = o
+	return o
+}
+
+// Observer returns the attached observability layer (nil until
+// EnableObservability).
+func (s *System) Observer() *obs.Observer { return s.obs }
 
 // NPU exposes the accelerator (cores, mesh, channel).
 func (s *System) NPU() *npu.NPU { return s.acc }
@@ -278,7 +312,13 @@ func (s *System) RunModelTraced(name string, w io.Writer) (InferenceResult, erro
 	if err := s.mapNonSecure(0, task); err != nil {
 		return InferenceResult{}, err
 	}
-	rec := trace.New(1 << 20)
+	// With span-recording observability enabled, reuse its recorder so
+	// component spans (noc.send, dma.mvin, iotlb.walk, ...) land on the
+	// same Chrome timeline as the op events.
+	rec := s.obs.Trace()
+	if rec == nil {
+		rec = trace.New(1 << 20)
+	}
 	cycles, err := s.drv.RunSoloTraced(core, task, rec)
 	if err != nil {
 		return InferenceResult{}, err
