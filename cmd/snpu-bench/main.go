@@ -153,6 +153,14 @@ func suiteSpecs() []expSpec {
 			}
 			return out, nil
 		}},
+		{"serve", func(o options) ([]section, error) {
+			res, err := snpu.ServeBench(o.seed, snpu.ServeBenchConfig{})
+			if err != nil {
+				return nil, err
+			}
+			title := fmt.Sprintf("Serve — multi-tenant scheduler load sweep (seed %d; beyond-paper)", res.Seed)
+			return []section{{title, res.TableString()}}, nil
+		}},
 		{"chaos", func(o options) ([]section, error) {
 			model := "yololite"
 			if len(o.models) > 0 {
@@ -214,11 +222,11 @@ func runSuite(w io.Writer, opts options) ([]BenchExperiment, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, chaos)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, serve, chaos)")
 	modelsFlag := flag.String("models", "", "comma-separated model subset (default: all six)")
 	markdown := flag.Bool("markdown", false, "emit fenced code blocks with headings")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
-	seed := flag.Int64("seed", 1, "seed for randomized experiments (chaos); same seed = identical output")
+	seed := flag.Int64("seed", 1, "seed for randomized experiments (serve, chaos); same seed = identical output")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiment-cell worker pool width; output is identical for any value")
 	benchJSON := flag.String("bench-json", "", "write a perf snapshot (wall-time per experiment, cells/sec, allocs) to this file")
 	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: also run sequentially first and record the -j speedup")

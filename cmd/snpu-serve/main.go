@@ -1,0 +1,74 @@
+// Command snpu-serve is the multi-tenant serving daemon over the
+// simulated sNPU SoC: an HTTP/JSON API to provision sealing keys,
+// submit secure and non-secure inference requests, and run
+// deterministic scheduling episodes (see internal/serve and
+// internal/sched).
+//
+//	snpu-serve -addr :8080 -cores 0,1,2,3
+//
+//	curl -s -XPOST localhost:8080/v1/submit \
+//	  -d '{"tenant":"a","model":"resnet"}'
+//	curl -s -XPOST localhost:8080/v1/run | jq .completed
+//	curl -s localhost:8080/metrics | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	snpu "repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cores := flag.String("cores", "", "comma-separated core list (default: all)")
+	workers := flag.Int("j", 0, "compile worker pool width (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 0, "secure same-model batch width (0 = default)")
+	baseline := flag.Bool("baseline", false, "boot the unprotected baseline (non-secure only)")
+	flag.Parse()
+
+	coreList, err := parseCores(*cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := snpu.DefaultConfig()
+	if *baseline {
+		cfg = snpu.BaselineConfig()
+	}
+	sys, err := snpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.EnableObservability(obs.Config{})
+	srv, err := serve.New(sys, serve.Config{
+		Cores: coreList, Workers: *workers, MaxBatch: *maxBatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("snpu-serve listening on %s (protected=%v)", *addr, !*baseline)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("snpu-serve: bad core list %q: %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -59,7 +59,7 @@ func (d *Driver) Reserved() *mem.ContigAlloc { return d.reserved }
 // own IOVA range (4 GiB apart) so concurrently mapped tasks never
 // alias in the access-control hardware.
 func (d *Driver) Submit(w workload.Workload, spadBudget int, secure bool) (*Task, error) {
-	layout := npu.Layout{WeightBase: npu.DefaultLayout.WeightBase + mem.VirtAddr(uint64(d.nextID)<<32)}
+	layout := LayoutFor(d.nextID)
 	prog, _, err := npu.Compile(w, d.cfg, spadBudget, layout)
 	if err != nil {
 		return nil, err
@@ -85,6 +85,40 @@ func (d *Driver) Submit(w workload.Workload, spadBudget int, secure bool) (*Task
 // Release frees a task's chunk.
 func (d *Driver) Release(t *Task) error {
 	return d.reserved.Free(t.Chunk)
+}
+
+// LayoutFor is the per-task VA layout Submit would compile task `id`
+// under: each id gets its own 4 GiB-apart IOVA range so concurrently
+// mapped tasks never alias in the access-control hardware. Exposed so
+// callers that compile programs out-of-band (the scheduler's parallel
+// prepare phase) produce the same non-aliasing spans.
+func LayoutFor(id int) npu.Layout {
+	return npu.Layout{WeightBase: npu.DefaultLayout.WeightBase + mem.VirtAddr(uint64(id)<<32)}
+}
+
+// SubmitProgram registers an externally compiled program as a task,
+// allocating only its DMA chunk. Compilation is pure, so callers may
+// run it on a worker pool and then register results here sequentially
+// — chunk addresses stay deterministic because the allocator sees one
+// fixed registration order. The caller owns VA-span uniqueness (use
+// LayoutFor).
+func (d *Driver) SubmitProgram(w workload.Workload, prog *npu.Program, secure bool) (*Task, error) {
+	lo, hi := prog.VASpan()
+	size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PageAlignDown(mem.PhysAddr(lo)))
+	chunk, err := d.reserved.Alloc(size, mem.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("driver: allocating %d-byte chunk: %w", size, err)
+	}
+	t := &Task{
+		ID:        d.nextID,
+		Model:     w,
+		Program:   prog,
+		Secure:    secure,
+		Chunk:     chunk,
+		ChunkSize: size,
+	}
+	d.nextID++
+	return t, nil
 }
 
 // MapTask installs the IOMMU mappings for a task's VA span onto its

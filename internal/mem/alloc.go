@@ -1,9 +1,16 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrNoSpace reports an allocation that does not fit the remaining
+// free spans. Callers that queue work against a full allocator (the
+// scheduler's secure-memory admission control) match it with
+// errors.Is to distinguish "retry later" from hard rejections.
+var ErrNoSpace = errors.New("mem: out of contiguous memory")
 
 // ContigAlloc is a CMA-style contiguous allocator over a physical
 // range. The NPU driver uses one of these over the NPU-reserved memory
@@ -72,7 +79,7 @@ func (a *ContigAlloc) Alloc(size, align uint64) (PhysAddr, error) {
 		a.used[PhysAddr(start)] = size
 		return PhysAddr(start), nil
 	}
-	return 0, fmt.Errorf("mem: out of contiguous memory (want %d bytes, %d free)", size, a.FreeBytes())
+	return 0, fmt.Errorf("%w (want %d bytes, %d free)", ErrNoSpace, size, a.FreeBytes())
 }
 
 // Free releases a buffer previously returned by Alloc.

@@ -66,7 +66,7 @@ type Monitor struct {
 
 	// Observability: pre-resolved counters, nil unless AttachObserver
 	// was called.
-	obsCalls, obsAborts, obsRejects *obs.Counter
+	obsCalls, obsAborts, obsRejects, obsPreempts *obs.Counter
 }
 
 // AttachObserver wires the monitor into an observability layer:
@@ -75,13 +75,14 @@ type Monitor struct {
 // detaches.
 func (m *Monitor) AttachObserver(o *obs.Observer) {
 	if o == nil {
-		m.obsCalls, m.obsAborts, m.obsRejects = nil, nil, nil
+		m.obsCalls, m.obsAborts, m.obsRejects, m.obsPreempts = nil, nil, nil, nil
 		return
 	}
 	scope := o.Registry().Scope("monitor")
 	m.obsCalls = scope.Counter("call.count")
 	m.obsAborts = scope.Counter("abort.count")
 	m.obsRejects = scope.Counter("reject.count")
+	m.obsPreempts = scope.Counter("preempt.count")
 }
 
 // call counts one trampoline entry into the monitor.
@@ -306,6 +307,54 @@ func (m *Monitor) Unload(taskID int) error {
 			break
 		}
 	}
+	return nil
+}
+
+// Preempt evicts a loaded task from its cores without destroying it:
+// the §IV-B flush-on-switch. The task's scratchpad and accumulator
+// lines are scrubbed (no cross-domain bytes survive the switch), the
+// cores' ID bits are reassigned to the non-secure domain, and every
+// translation register is invalidated — exactly the context-switch
+// teardown of Unload — but the task's secure chunk and decrypted model
+// stay resident, so a later Load resumes it without re-verification.
+// The preempted task returns to the tail of the pending queue.
+func (m *Monitor) Preempt(taskID int) error {
+	m.call()
+	task, ok := m.tasks[taskID]
+	if !ok {
+		return m.reject(ErrUnknownTask)
+	}
+	if !task.Loaded {
+		return m.reject(fmt.Errorf("monitor: task %d is not loaded", taskID))
+	}
+	if m.obsPreempts != nil {
+		m.obsPreempts.Inc()
+	}
+	for _, ci := range task.Cores {
+		core, err := m.acc.Core(ci)
+		if err != nil {
+			return m.reject(err)
+		}
+		sp := core.Scratchpad()
+		if err := sp.ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
+			return m.reject(err)
+		}
+		acc := core.Accumulator()
+		if err := acc.ResetSecure(m.ctx, 0, acc.Lines()); err != nil {
+			return m.reject(err)
+		}
+		if err := core.SetDomain(m.ctx, spad.NonSecure); err != nil {
+			return m.reject(err)
+		}
+		if g, ok := m.guarders[ci]; ok {
+			if err := g.ClearTask(m.ctx); err != nil {
+				return m.reject(err)
+			}
+		}
+	}
+	task.Loaded = false
+	task.Cores = nil
+	m.queue = append(m.queue, task)
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/spad"
+)
+
+// Preempt is the §IV-B context-switch teardown without the task's
+// destruction: scrub, ID reassignment, register invalidation — but the
+// task stays resident and reloadable.
+func TestPreemptScrubsAndKeepsTaskResident(t *testing.T) {
+	w := bootWorld(t)
+	prog := testProgram(t)
+	id, err := w.mon.Submit(TaskSpec{Program: prog, Expected: prog.Measurement()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.mon.Load(id, []int{0}, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	core, err := w.acc.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The running secure task leaves bytes in its scratchpad lines.
+	secret := []byte("live-partial-sums")
+	if err := core.Scratchpad().Write(spad.SecureDomain, 5, secret[:core.Scratchpad().LineBytes()]); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.mon.Preempt(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flush-on-switch: the line is invalid, the core is back in the
+	// normal world, and every translation register is cleared.
+	if core.Scratchpad().LineValid(5) {
+		t.Fatal("secure line survived preemption")
+	}
+	if core.Domain() != spad.NonSecure {
+		t.Fatalf("core domain = %d after preempt", core.Domain())
+	}
+	for i, r := range w.guarders[0].TransRegs() {
+		if r.Valid {
+			t.Fatalf("translation register %d still valid after preempt", i)
+		}
+	}
+	buf := make([]byte, core.Scratchpad().LineBytes())
+	if err := core.Scratchpad().Read(spad.NonSecure, 5, buf); err == nil && bytes.Contains(buf, secret[:4]) {
+		t.Fatal("preempted task's bytes readable from the normal world")
+	}
+
+	// The task is requeued and reloadable without resubmission.
+	task, err := w.mon.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Loaded {
+		t.Fatal("task still marked loaded")
+	}
+	if w.mon.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want 1 (requeued)", w.mon.QueueLen())
+	}
+	if err := w.mon.Load(id, []int{1}, 0, 64); err != nil {
+		t.Fatalf("reload after preempt: %v", err)
+	}
+	if err := w.mon.Unload(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreemptRejectsUnknownOrUnloaded(t *testing.T) {
+	w := bootWorld(t)
+	if err := w.mon.Preempt(42); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown task: %v", err)
+	}
+	prog := testProgram(t)
+	id, err := w.mon.Submit(TaskSpec{Program: prog, Expected: prog.Measurement()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.mon.Preempt(id); err == nil {
+		t.Fatal("preempt of a never-loaded task accepted")
+	}
+	rep := w.mon.Dispatch(Call{Func: FnPreempt})
+	if rep.Err == nil {
+		t.Fatal("FnPreempt with no args accepted")
+	}
+}

@@ -37,6 +37,9 @@ const (
 	FnSubmitImage
 	// FnAbort fail-closed-aborts a secure task (scrub + teardown).
 	FnAbort
+	// FnPreempt evicts a loaded task with the mandatory flush and
+	// ID-bit reassignment, keeping it resident for a later FnLoad.
+	FnPreempt
 )
 
 func (f FuncID) String() string {
@@ -55,6 +58,8 @@ func (f FuncID) String() string {
 		return "submit-image"
 	case FnAbort:
 		return "abort"
+	case FnPreempt:
+		return "preempt"
 	default:
 		return fmt.Sprintf("func(%d)", uint32(f))
 	}
@@ -116,6 +121,11 @@ func (m *Monitor) Dispatch(c Call) Reply {
 			return Reply{Err: fmt.Errorf("monitor: abort needs taskID")}
 		}
 		return Reply{Err: m.Abort(int(c.Args[0]))}
+	case FnPreempt:
+		if len(c.Args) < 1 {
+			return Reply{Err: fmt.Errorf("monitor: preempt needs taskID")}
+		}
+		return Reply{Err: m.Preempt(int(c.Args[0]))}
 	case FnQueueLen:
 		return Reply{Value: uint64(m.QueueLen())}
 	case FnMapNonSecure:

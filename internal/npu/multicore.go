@@ -116,6 +116,25 @@ func (n *NPU) Core(i int) (*Core, error) {
 	return n.cores[i], nil
 }
 
+// validateCores rejects duplicate or out-of-range core IDs up front,
+// before any run claims channel or pipeline resources. A duplicate
+// would silently double-claim one core's pipeline (two executors
+// interleaving on the same cursor), producing plausible-looking but
+// meaningless cycle counts.
+func (n *NPU) validateCores(coreIDs []int) error {
+	seen := make(map[int]bool, len(coreIDs))
+	for _, ci := range coreIDs {
+		if ci < 0 || ci >= len(n.cores) {
+			return fmt.Errorf("npu: core %d out of range (%d cores)", ci, len(n.cores))
+		}
+		if seen[ci] {
+			return fmt.Errorf("npu: core %d listed twice", ci)
+		}
+		seen[ci] = true
+	}
+	return nil
+}
+
 // Mesh returns the NoC fabric.
 func (n *NPU) Mesh() *noc.Mesh { return n.mesh }
 
@@ -195,6 +214,13 @@ type PipelineResult struct {
 func (n *NPU) RunPipeline(stages []Stage, batches int, mode TransferMode, shmVA mem.VirtAddr) (PipelineResult, error) {
 	if len(stages) == 0 || batches <= 0 {
 		return PipelineResult{}, fmt.Errorf("npu: empty pipeline")
+	}
+	stageCores := make([]int, len(stages))
+	for i, st := range stages {
+		stageCores[i] = st.Core
+	}
+	if err := n.validateCores(stageCores); err != nil {
+		return PipelineResult{}, err
 	}
 	coreFree := make([]sim.Cycle, len(stages))
 	var res PipelineResult

@@ -127,6 +127,9 @@ func (n *NPU) RunModelParallel(w workload.Workload, coreIDs []int, mode Transfer
 	if parts == 0 {
 		return ModelParallelResult{}, fmt.Errorf("npu: no cores for model-parallel run")
 	}
+	if err := n.validateCores(coreIDs); err != nil {
+		return ModelParallelResult{}, err
+	}
 	dim := n.cfg.SystolicDim
 	cores := make([]*Core, parts)
 	execs := make([]*Exec, parts)

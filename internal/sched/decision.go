@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Decision is one scheduling event. The stream of decisions a run
+// emits is part of its deterministic contract: the differential tests
+// compare rendered logs byte-for-byte across worker widths and across
+// fresh System instances.
+type Decision struct {
+	Cycle  sim.Cycle `json:"cycle"`
+	Core   int       `json:"core"` // -1 when no core is involved
+	Event  string    `json:"event"`
+	Req    int       `json:"req"`
+	Tenant string    `json:"tenant"`
+	Model  string    `json:"model"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// String renders one stable log line.
+func (d Decision) String() string {
+	core := "-"
+	if d.Core >= 0 {
+		core = fmt.Sprintf("%d", d.Core)
+	}
+	s := fmt.Sprintf("@%010d core=%s %-8s req=%d tenant=%s model=%s",
+		uint64(d.Cycle), core, d.Event, d.Req, d.Tenant, d.Model)
+	if d.Detail != "" {
+		s += " " + d.Detail
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+package sched_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	snpu "repro"
+	"repro/internal/fault"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/tee"
+	"repro/internal/workload"
+)
+
+// The property suite: randomized schedules (tenants x models x
+// priorities x preemption points x seeded chaos plans) against the
+// §IV-B isolation invariants. Every schedule asserts:
+//
+//  1. LeftoverLocals: a secret planted in a secure task's scratchpad
+//     lines while it runs is unreadable from the normal world after
+//     every context switch (preempt, abort, end-of-run) — no
+//     cross-domain bytes survive.
+//  2. Attestation binds the task image: a report quoted for one
+//     program never verifies against another's measurement.
+//  3. Fail-closed opacity: aborted requests surface exactly
+//     sched.ErrTaskAborted — no hang/fault detail leaks to the
+//     untrusted side.
+//
+// plus scheduler sanity (every request reaches exactly one terminal
+// state, completions have coherent cycle spans).
+
+const propertySchedules = 200
+
+var propModels = []string{"mobilenet", "yololite"}
+
+// measOf caches one compile per model (the programs are pure functions
+// of the model and config).
+var (
+	measMu sync.Mutex
+	measBy = map[string][32]byte{}
+)
+
+func measOf(t *testing.T, model string) [32]byte {
+	t.Helper()
+	measMu.Lock()
+	defer measMu.Unlock()
+	if m, ok := measBy[model]; ok {
+		return m
+	}
+	w, err := workload.ByNameExtended(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := npu.Compile(w, snpu.DefaultConfig().NPU, 0, npu.DefaultLayout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Measurement()
+	measBy[model] = m
+	return m
+}
+
+func TestPropertyRandomSchedules(t *testing.T) {
+	n := propertySchedules
+	if testing.Short() {
+		n = 40
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(i + 1)
+		t.Run(fmt.Sprintf("schedule-%03d", i), func(t *testing.T) {
+			t.Parallel()
+			runPropertySchedule(t, seed)
+		})
+	}
+}
+
+func runPropertySchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quarter of the schedules run under a seeded chaos plan, so
+	// preemptions and fail-closed aborts interleave with faults.
+	if seed%4 == 0 {
+		plan := fault.Generate(seed, 40_000_000, fault.UniformRates(6))
+		sys.InstallFaultPlan(plan)
+	}
+
+	nCores := 1 + rng.Intn(3)
+	cores := make([]int, nCores)
+	for i := range cores {
+		cores[i] = i
+	}
+	tenants := 1 + rng.Intn(3)
+	sealedBy := map[string][]byte{}
+	for ti := 0; ti < tenants; ti++ {
+		keyID := fmt.Sprintf("t%d-key", ti)
+		key := snpu.ChaosKey(seed*31 + int64(ti))
+		if err := sys.ProvisionKey(keyID, key); err != nil {
+			t.Fatal(err)
+		}
+		sealed, err := snpu.SealModel(key, []byte(fmt.Sprintf("prop model %d/%d", seed, ti)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealedBy[keyID] = sealed
+	}
+
+	// Position-dependent pattern: consecutive bytes always differ, so a
+	// scrubbed (zeroed) line can never spuriously "contain" the secret.
+	secret := make([]byte, 16)
+	for i := range secret {
+		secret[i] = 0xA5 ^ byte(seed) ^ byte(i*37+1)
+	}
+	plantLine := 3
+	probe := newIsolationProbe(t, sys, cores, plantLine, secret)
+
+	sc, err := sys.NewScheduler(sched.Config{
+		Cores:      cores,
+		MaxBatch:   1 + rng.Intn(4),
+		OnDecision: probe.onDecision,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nReq := 3 + rng.Intn(6)
+	secureModels := map[string]bool{}
+	var arrival int64
+	for id := 1; id <= nReq; id++ {
+		arrival += rng.Int63n(2_000_000)
+		ti := rng.Intn(tenants)
+		r := sched.Request{
+			ID:       id,
+			Tenant:   fmt.Sprintf("t%d", ti),
+			Model:    propModels[rng.Intn(len(propModels))],
+			Priority: sched.Priority(rng.Intn(3)),
+			Arrival:  sim.Cycle(arrival),
+		}
+		if rng.Float64() < 0.6 {
+			r.Secure = true
+			r.KeyID = fmt.Sprintf("t%d-key", ti)
+			r.Sealed = sealedBy[r.KeyID]
+			secureModels[r.Model] = true
+		}
+		if rng.Float64() < 0.25 {
+			r.Deadline = r.Arrival + 1_000_000 + sim.Cycle(rng.Int63n(10_000_000))
+		}
+		if err := sc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scheduler sanity: one terminal state per request, coherent spans.
+	for _, r := range rep.Results {
+		states := 0
+		for _, b := range []bool{r.Completed, r.Dropped, r.Aborted, r.Rejected} {
+			if b {
+				states++
+			}
+		}
+		if states != 1 {
+			t.Fatalf("req %d in %d terminal states: %+v", r.ID, states, r)
+		}
+		if r.Completed && (r.Finish <= r.Start || r.Start < r.Arrival) {
+			t.Fatalf("req %d incoherent span: %+v", r.ID, r)
+		}
+		// Invariant 3: abort opacity. Whatever the monitor saw (hang,
+		// fault, verification failure), the untrusted side learns only
+		// the opaque sentinel.
+		if r.Aborted {
+			if r.Err != sched.ErrTaskAborted.Error() {
+				t.Fatalf("req %d aborted with non-opaque error %q", r.ID, r.Err)
+			}
+		}
+		if r.Err != "" {
+			for _, leak := range []string{"hang", "watchdog", "cycle"} {
+				if strings.Contains(r.Err, leak) {
+					t.Fatalf("req %d error leaks hardware detail %q: %q", r.ID, leak, r.Err)
+				}
+			}
+		}
+	}
+
+	// Invariant 1 at end-of-run: every core is back in the normal
+	// world with zero secure bytes resident.
+	probe.probeAll("end-of-run")
+
+	// Invariant 2: attestation binds the image. A quote for one secure
+	// model of this schedule never verifies as another model.
+	models := make([]string, 0, len(secureModels))
+	for m := range secureModels {
+		models = append(models, m)
+	}
+	if len(models) >= 1 {
+		nonce := uint64(seed)*2654435761 + 1
+		measA := measOf(t, models[0])
+		repA, err := sys.Machine().Attest(sys.Machine().SecureContext(), tee.Measurement(measA), nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.VerifyAttestation(repA, measA, nonce); err != nil {
+			t.Fatalf("attestation of the right image failed: %v", err)
+		}
+		other := propModels[0]
+		if other == models[0] {
+			other = propModels[1]
+		}
+		if err := sys.VerifyAttestation(repA, measOf(t, other), nonce); err == nil {
+			t.Fatalf("report for %s verified as %s", models[0], other)
+		}
+		if err := sys.VerifyAttestation(repA, measA, nonce+1); err == nil {
+			t.Fatal("report verified with a stale nonce")
+		}
+	}
+}
+
+// isolationProbe plants a secret into the scratchpad of every secure
+// task as it is dispatched and asserts, at every context switch the
+// scheduler performs, that the secret is gone from the normal world's
+// point of view — the LeftoverLocals attack replayed as an invariant.
+type isolationProbe struct {
+	t      *testing.T
+	sys    *snpu.System
+	cores  []int
+	line   int
+	secret []byte
+}
+
+func newIsolationProbe(t *testing.T, sys *snpu.System, cores []int, line int, secret []byte) *isolationProbe {
+	return &isolationProbe{t: t, sys: sys, cores: cores, line: line, secret: secret}
+}
+
+func (p *isolationProbe) onDecision(d sched.Decision) {
+	switch d.Event {
+	case "dispatch", "resume":
+		if d.Core >= 0 {
+			p.plant(d)
+		}
+	case "preempt", "abort":
+		if d.Core >= 0 {
+			p.probeCore(d.Core, fmt.Sprintf("%s of req %d @%d", d.Event, d.Req, d.Cycle))
+		}
+	}
+}
+
+// plant writes the secret into a secure-domain scratchpad line while
+// the secure task owns the core (the moment after FnLoad).
+func (p *isolationProbe) plant(d sched.Decision) {
+	core, err := p.sys.NPU().Core(d.Core)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	if core.Domain() != spad.SecureDomain {
+		return // non-secure dispatch; nothing to plant
+	}
+	buf := make([]byte, core.Scratchpad().LineBytes())
+	copy(buf, p.secret)
+	if err := core.Scratchpad().Write(spad.SecureDomain, p.line, buf); err != nil {
+		p.t.Fatalf("planting secret on core %d: %v", d.Core, err)
+	}
+}
+
+// probeCore is the LeftoverLocals read: after a switch the normal
+// world must see no secure lines, a non-secure core domain, and no
+// secret bytes through a normal-world read.
+func (p *isolationProbe) probeCore(coreID int, when string) {
+	core, err := p.sys.NPU().Core(coreID)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	if n := core.Scratchpad().CountDomain(spad.SecureDomain); n != 0 {
+		p.t.Fatalf("%s: core %d kept %d secure scratchpad lines", when, coreID, n)
+	}
+	if n := core.Accumulator().CountDomain(spad.SecureDomain); n != 0 {
+		p.t.Fatalf("%s: core %d kept %d secure accumulator lines", when, coreID, n)
+	}
+	if core.Domain() != spad.NonSecure {
+		p.t.Fatalf("%s: core %d still in domain %d", when, coreID, core.Domain())
+	}
+	buf := make([]byte, core.Scratchpad().LineBytes())
+	if err := core.Scratchpad().Read(spad.NonSecure, p.line, buf); err == nil {
+		if bytes.Contains(buf, p.secret) {
+			p.t.Fatalf("%s: secret readable from the normal world on core %d", when, coreID)
+		}
+	}
+}
+
+func (p *isolationProbe) probeAll(when string) {
+	for _, ci := range p.cores {
+		p.probeCore(ci, when)
+	}
+}
+
+// A guaranteed hang: one core, one secure request, a CoreHang event
+// early in its run. The scheduler must abort fail-closed, scrub the
+// core, and surface only the opaque sentinel.
+func TestScheduledHangAbortsOpaquely(t *testing.T) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.InstallFaultPlan(fault.Plan{Events: []fault.Event{
+		{At: 1000, Kind: fault.CoreHang, Sel: 0},
+	}})
+	key := snpu.ChaosKey(99)
+	if err := sys.ProvisionKey("k", key); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := snpu.SealModel(key, []byte("hang model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.NewScheduler(sched.Config{Cores: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{
+		ID: 1, Tenant: "a", Model: "mobilenet", Secure: true, KeyID: "k", Sealed: sealed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ResultByID(1)
+	if !r.Aborted {
+		t.Fatalf("request survived a scheduled core hang: %+v\n%s", r, rep.DecisionLog())
+	}
+	if r.Err != sched.ErrTaskAborted.Error() {
+		t.Fatalf("abort error not opaque: %q", r.Err)
+	}
+	core, err := sys.NPU().Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Domain() != spad.NonSecure {
+		t.Fatal("hang abort left the core in the secure domain")
+	}
+	if n := core.Scratchpad().CountDomain(spad.SecureDomain); n != 0 {
+		t.Fatalf("hang abort left %d secure lines", n)
+	}
+	if sys.Monitor().QueueLen() != 0 {
+		t.Fatal("aborted task still queued in the monitor")
+	}
+}

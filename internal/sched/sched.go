@@ -1,0 +1,1094 @@
+// Package sched is the multi-tenant secure task scheduler layered on
+// the NPU Monitor's primitives (§IV-B, §IV-C): it admits a stream of
+// secure and non-secure inference requests (per-tenant queues,
+// priorities, deadlines), packs them onto NPU cores through the
+// monitor trampoline, preempts with the mandatory flush-on-switch and
+// ID-bit reassignment of §IV-B, backfills idle cores with non-secure
+// work, and batches same-model requests from one tenant to amortize
+// the monitor's sealing/verification cost. The serving layer itself is
+// beyond the paper; every isolation-relevant action it takes goes
+// through the monitor, so the scheduler stays untrusted (§III threat
+// model) — a buggy or malicious scheduler can waste cycles but cannot
+// weaken isolation, which the property suite pins.
+//
+// Everything is cycle-deterministic: decisions depend only on the
+// submitted requests (never wall clock, map order, or goroutine
+// interleaving), so one request trace replays to byte-identical
+// per-request cycle counts and decision logs at any worker-pool width
+// and across fresh System instances.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/driver"
+	"repro/internal/guarder"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/npu"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/spad"
+	"repro/internal/workload"
+)
+
+// Errors the scheduler surfaces to submitters. ErrTaskAborted is
+// deliberately opaque: whatever went wrong inside the secure world, the
+// untrusted side learns only that the task is gone.
+var (
+	ErrTaskAborted   = errors.New("sched: task aborted")
+	ErrDuplicateID   = errors.New("sched: duplicate request id")
+	ErrNoMonitor     = errors.New("sched: secure request on a system without a monitor")
+	ErrAlreadyRan    = errors.New("sched: scheduler already ran")
+	ErrBadRequest    = errors.New("sched: bad request")
+	ErrModelTooLarge = errors.New("sched: sealed model exceeds the size cap")
+)
+
+// MaxSealedBytes caps a secure request's sealed-model payload; the
+// serve API turns an oversized blob into a 4xx before it reaches the
+// monitor.
+const MaxSealedBytes = 8 << 20
+
+// DefaultMaxBatch is the same-model batching width when Config.MaxBatch
+// is zero.
+const DefaultMaxBatch = 4
+
+// DefaultSubmitBaseCycles models the fixed per-FnSubmit cost of the
+// monitor's verification + attestation handshake: batching exists to
+// pay it once per batch instead of once per request. The streaming
+// part (unsealing the model at DRAM bandwidth) is added per blob.
+const DefaultSubmitBaseCycles sim.Cycle = 10000
+
+// Priority orders requests; higher runs first and may preempt lower.
+type Priority int
+
+// Request is one inference submission.
+type Request struct {
+	// ID is the caller-assigned unique id (> 0).
+	ID int
+	// Tenant names the submitting tenant; per-tenant queues and the
+	// fairness metric key off it.
+	Tenant string
+	// Model is a built-in workload name.
+	Model string
+	// Secure routes the request through the NPU Monitor.
+	Secure   bool
+	Priority Priority
+	// Arrival is the request's arrival cycle on the simulated clock.
+	Arrival sim.Cycle
+	// Deadline, when non-zero, is the latest start cycle; requests
+	// that cannot start by then are dropped, not run late.
+	Deadline sim.Cycle
+	// KeyID and Sealed carry the secure payload: the tenant's
+	// provisioned sealing-key name and the sealed model blob.
+	KeyID  string
+	Sealed []byte
+}
+
+// Result reports one request's outcome.
+type Result struct {
+	ID      int       `json:"id"`
+	Tenant  string    `json:"tenant"`
+	Model   string    `json:"model"`
+	Secure  bool      `json:"secure"`
+	Arrival sim.Cycle `json:"arrival"`
+	// Start is the first cycle the request's program ran; Finish is
+	// its retire cycle. Latency = Finish - Arrival.
+	Start  sim.Cycle `json:"start"`
+	Finish sim.Cycle `json:"finish"`
+	Core   int       `json:"core"`
+	// Preemptions counts evictions this request suffered.
+	Preemptions int `json:"preemptions"`
+	// Batched marks a request that rode a batch-mate's FnSubmit.
+	Batched bool `json:"batched"`
+	// Completed / Dropped / Aborted / Rejected partition outcomes.
+	Completed bool   `json:"completed"`
+	Dropped   bool   `json:"dropped,omitempty"`
+	Aborted   bool   `json:"aborted,omitempty"`
+	Rejected  bool   `json:"rejected,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+// Latency is Finish - Arrival for completed requests.
+func (r Result) Latency() sim.Cycle { return r.Finish - r.Arrival }
+
+// Config tunes one scheduler instance.
+type Config struct {
+	// Cores lists the NPU cores the scheduler owns (default: all).
+	Cores []int
+	// Workers bounds the parallel program-compile pool in Run's
+	// prepare phase (default GOMAXPROCS). Compilation is pure, so the
+	// width never changes a single scheduling decision.
+	Workers int
+	// MaxBatch bounds same-tenant same-model secure batching
+	// (default DefaultMaxBatch; 1 disables batching).
+	MaxBatch int
+	// SubmitBaseCycles overrides the per-FnSubmit fixed cost
+	// (default DefaultSubmitBaseCycles).
+	SubmitBaseCycles sim.Cycle
+	// OnDecision, when set, observes every scheduling decision as it
+	// is made (the property tests hook probes here).
+	OnDecision func(Decision)
+}
+
+// Deps wires the scheduler to one simulated SoC. Monitor may be nil on
+// the unprotected baseline, which then serves non-secure requests only.
+type Deps struct {
+	NPU     *npu.NPU
+	Monitor *monitor.Monitor
+	Driver  *driver.Driver
+	Cfg     npu.Config
+	Stats   *sim.Stats
+}
+
+// reqState tracks one request through its lifetime.
+type reqState struct {
+	req  Request
+	prog *npu.Program
+
+	ex      *npu.Exec
+	started bool
+	start   sim.Cycle
+	finish  sim.Cycle
+	core    int
+
+	task *driver.Task // non-secure DMA chunk
+
+	preempts int
+	batched  bool
+
+	terminal  bool
+	completed bool
+	dropped   bool
+	aborted   bool
+	rejected  bool
+	errMsg    string
+}
+
+// job is the dispatch unit: a single non-secure request, or a batch of
+// same-tenant same-model secure requests sharing one monitor task.
+type job struct {
+	members []*reqState
+	idx     int
+	secure  bool
+	monID   int // monitor task id (secure)
+	prio    Priority
+	arrival sim.Cycle
+	leadID  int
+	// loadCost is the one-time FnSubmit amortization charged at first
+	// load (verification handshake + streaming unseal).
+	loadCost sim.Cycle
+	// slot/mapped track the non-secure translation window.
+	slot   int
+	mapped bool
+	coreID int // affine core once started (-1 before)
+}
+
+func (j *job) lead() *reqState { return j.members[0] }
+
+// cur returns the member at the execution cursor.
+func (j *job) cur() *reqState { return j.members[j.idx] }
+
+func (j *job) done() bool { return j.idx >= len(j.members) }
+
+// coreState is one owned core's scheduling state.
+type coreState struct {
+	id     int
+	core   *npu.Core
+	freeAt sim.Cycle
+	cur    *job
+	resume []*job // preempted jobs, affine to this core
+	slots  []bool // translation-window slots 1..DefaultTransRegs-1; true = taken
+}
+
+// Scheduler runs one deterministic scheduling episode. It is not safe
+// for concurrent use; callers (the serve daemon) serialize access.
+type Scheduler struct {
+	deps Deps
+	cfg  Config
+
+	all  []*reqState
+	byID map[int]*reqState
+	ran  bool
+
+	// run-time state
+	future   []*reqState
+	waitlist []*reqState // admitted-pending: out of secure/reserved memory
+	ready    []*job
+	cores    []*coreState
+	openJobs []*job // batch-joinable secure jobs
+	memFreed bool
+
+	decisions   []Decision
+	flushCycles sim.Cycle
+
+	obsDispatch, obsPreempt, obsComplete *obs.Counter
+	obsReject, obsAbort, obsBatch        *obs.Counter
+	obsLatency                           *obs.Histogram
+}
+
+// New validates deps and builds an empty scheduler.
+func New(deps Deps, cfg Config) (*Scheduler, error) {
+	if deps.NPU == nil || deps.Driver == nil {
+		return nil, fmt.Errorf("sched: nil NPU or Driver")
+	}
+	if len(cfg.Cores) == 0 {
+		cfg.Cores = make([]int, deps.Cfg.Tiles)
+		for i := range cfg.Cores {
+			cfg.Cores[i] = i
+		}
+	}
+	seen := make(map[int]bool, len(cfg.Cores))
+	for _, ci := range cfg.Cores {
+		if _, err := deps.NPU.Core(ci); err != nil {
+			return nil, err
+		}
+		if seen[ci] {
+			return nil, fmt.Errorf("sched: core %d listed twice", ci)
+		}
+		seen[ci] = true
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.SubmitBaseCycles <= 0 {
+		cfg.SubmitBaseCycles = DefaultSubmitBaseCycles
+	}
+	return &Scheduler{deps: deps, cfg: cfg, byID: make(map[int]*reqState)}, nil
+}
+
+// AttachObserver wires scheduler counters and the request-latency
+// histogram into an observability registry. Nil detaches.
+func (s *Scheduler) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		s.obsDispatch, s.obsPreempt, s.obsComplete = nil, nil, nil
+		s.obsReject, s.obsAbort, s.obsBatch, s.obsLatency = nil, nil, nil, nil
+		return
+	}
+	scope := o.Registry().Scope("sched")
+	s.obsDispatch = scope.Counter("dispatch.count")
+	s.obsPreempt = scope.Counter("preempt.count")
+	s.obsComplete = scope.Counter("complete.count")
+	s.obsReject = scope.Counter("reject.count")
+	s.obsAbort = scope.Counter("abort.count")
+	s.obsBatch = scope.Counter("batch.count")
+	s.obsLatency = scope.Histogram("latency.cycles", obs.DefaultCycleBuckets())
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Submit validates and queues one request. Validation is the
+// front-door admission control: unknown models, duplicate IDs,
+// oversized sealed blobs, and secure requests on a monitor-less system
+// are refused here (the serve API maps these to 4xx).
+func (s *Scheduler) Submit(r Request) error {
+	if s.ran {
+		return ErrAlreadyRan
+	}
+	if r.ID <= 0 {
+		return fmt.Errorf("%w: id must be > 0", ErrBadRequest)
+	}
+	if _, dup := s.byID[r.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, r.ID)
+	}
+	if r.Tenant == "" {
+		return fmt.Errorf("%w: empty tenant", ErrBadRequest)
+	}
+	if _, err := workload.ByNameExtended(r.Model); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if r.Secure {
+		if s.deps.Monitor == nil {
+			return ErrNoMonitor
+		}
+		if len(r.Sealed) > MaxSealedBytes {
+			return fmt.Errorf("%w: %d > %d bytes", ErrModelTooLarge, len(r.Sealed), MaxSealedBytes)
+		}
+		if len(r.Sealed) > 0 && r.KeyID == "" {
+			return fmt.Errorf("%w: sealed model without a key id", ErrBadRequest)
+		}
+	}
+	r.Sealed = append([]byte(nil), r.Sealed...)
+	rs := &reqState{req: r, core: -1}
+	s.all = append(s.all, rs)
+	s.byID[r.ID] = rs
+	return nil
+}
+
+// Pending reports queued, not-yet-run requests.
+func (s *Scheduler) Pending() int {
+	if s.ran {
+		return 0
+	}
+	return len(s.all)
+}
+
+// Report is one episode's outcome: per-request results (ascending
+// request ID) plus the full decision log.
+type Report struct {
+	Results   []Result
+	Decisions []Decision
+	// Makespan is the last retire cycle.
+	Makespan sim.Cycle
+	// FlushCycles is the total context-switch save/restore cost paid.
+	FlushCycles                           sim.Cycle
+	Completed, Rejected, Dropped, Aborted int
+	Preemptions                           int
+	// BatchedRuns counts requests that shared a batch-mate's FnSubmit.
+	BatchedRuns int
+}
+
+// DecisionLog renders the decision stream, one line per decision.
+func (r *Report) DecisionLog() string {
+	var b strings.Builder
+	for _, d := range r.Decisions {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ResultByID finds one request's result (nil if unknown).
+func (r *Report) ResultByID(id int) *Result {
+	for i := range r.Results {
+		if r.Results[i].ID == id {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Run executes every submitted request to a terminal state and
+// consumes the scheduler (a second Run returns ErrAlreadyRan).
+func (s *Scheduler) Run() (*Report, error) {
+	if s.ran {
+		return nil, ErrAlreadyRan
+	}
+	s.ran = true
+	s.deps.NPU.ResetTiming()
+	s.prepare()
+
+	for _, ci := range s.cfg.Cores {
+		core, err := s.deps.NPU.Core(ci)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, &coreState{
+			id: ci, core: core, slots: make([]bool, guarder.DefaultTransRegs),
+		})
+	}
+	for _, rs := range s.all {
+		if !rs.terminal {
+			s.future = append(s.future, rs)
+		}
+	}
+	sort.SliceStable(s.future, func(i, j int) bool {
+		a, b := s.future[i], s.future[j]
+		if a.req.Arrival != b.req.Arrival {
+			return a.req.Arrival < b.req.Arrival
+		}
+		return a.req.ID < b.req.ID
+	})
+
+	var clock sim.Cycle
+	for {
+		if s.memFreed {
+			s.memFreed = false
+			s.retryWaitlist(clock)
+		}
+		s.admitUpTo(clock)
+		s.dispatchIdle(clock)
+
+		// Choose the next event: the laggard busy core, unless an
+		// arrival lands first.
+		var c *coreState
+		for _, cs := range s.cores {
+			if cs.cur == nil {
+				continue
+			}
+			if c == nil || cs.freeAt < c.freeAt || (cs.freeAt == c.freeAt && cs.id < c.id) {
+				c = cs
+			}
+		}
+		if c == nil {
+			if len(s.future) > 0 {
+				clock = s.future[0].req.Arrival
+				continue
+			}
+			if s.outstanding() == 0 {
+				break
+			}
+			// Nothing runs, nothing arrives, work remains: the leftover
+			// requests can never be placed. Fail them closed.
+			s.rejectStranded(clock)
+			break
+		}
+		if len(s.future) > 0 && s.future[0].req.Arrival < c.freeAt {
+			clock = s.future[0].req.Arrival
+			continue
+		}
+		if c.freeAt > clock {
+			clock = c.freeAt
+		}
+		s.advance(c)
+	}
+	return s.assemble(), nil
+}
+
+// outstanding counts non-terminal requests still queued somewhere.
+func (s *Scheduler) outstanding() int {
+	n := len(s.waitlist)
+	for _, j := range s.ready {
+		n += len(j.members) - j.idx
+	}
+	for _, cs := range s.cores {
+		for _, j := range cs.resume {
+			n += len(j.members) - j.idx
+		}
+	}
+	return n
+}
+
+// prepare compiles every request's program on a worker pool.
+// Compilation is pure — the pool width cannot change any result — and
+// per-request layouts keep VA spans non-aliasing (secure programs use
+// the monitor's fixed layout; the per-core slot-0 window disambiguates).
+func (s *Scheduler) prepare() {
+	n := len(s.all)
+	if n == 0 {
+		return
+	}
+	w := s.cfg.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	compile := func(rs *reqState) {
+		wl, err := workload.ByNameExtended(rs.req.Model)
+		if err != nil {
+			rs.errMsg = err.Error()
+			return
+		}
+		layout := npu.DefaultLayout
+		if !rs.req.Secure {
+			layout = driver.LayoutFor(rs.req.ID)
+		}
+		prog, _, err := npu.Compile(wl, s.deps.Cfg, 0, layout)
+		if err != nil {
+			rs.errMsg = err.Error()
+			return
+		}
+		rs.prog = prog
+	}
+	if w <= 1 {
+		for _, rs := range s.all {
+			compile(rs)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					compile(s.all[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Reject compile failures in ID order, before the event loop.
+	ordered := append([]*reqState(nil), s.all...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].req.ID < ordered[j].req.ID })
+	for _, rs := range ordered {
+		if rs.prog == nil {
+			s.reject(rs, rs.req.Arrival, rs.errMsg)
+		}
+	}
+}
+
+// admitUpTo moves arrivals due by `t` from future into the scheduler:
+// secure requests go through monitor admission (verify + secure-memory
+// allocation) or join an open batch; non-secure requests take their
+// DMA chunk from reserved memory. Out-of-memory admissions waitlist.
+func (s *Scheduler) admitUpTo(t sim.Cycle) {
+	for len(s.future) > 0 && s.future[0].req.Arrival <= t {
+		rs := s.future[0]
+		s.future = s.future[1:]
+		s.admit(rs, rs.req.Arrival)
+	}
+}
+
+func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
+	if rs.req.Secure {
+		if j := s.joinableBatch(rs); j != nil {
+			rs.batched = true
+			j.members = append(j.members, rs)
+			if rs.req.Priority > j.prio {
+				j.prio = rs.req.Priority
+			}
+			inc(s.obsBatch)
+			s.decide(at, -1, "batch", rs, fmt.Sprintf("joined req %d (%d/%d)", j.leadID, len(j.members), s.cfg.MaxBatch))
+			return
+		}
+		rep := s.deps.Monitor.Dispatch(monitor.Call{
+			Func:     monitor.FnSubmit,
+			Shared:   rs.req.Sealed,
+			Program:  rs.prog,
+			Expected: rs.prog.Measurement(),
+			KeyID:    rs.req.KeyID,
+		})
+		if rep.Err != nil {
+			if errors.Is(rep.Err, mem.ErrNoSpace) {
+				s.waitlist = append(s.waitlist, rs)
+				s.decide(at, -1, "defer", rs, "secure memory full")
+				return
+			}
+			s.reject(rs, at, rep.Err.Error())
+			return
+		}
+		j := &job{
+			members: []*reqState{rs}, secure: true, monID: int(rep.Value),
+			prio: rs.req.Priority, arrival: rs.req.Arrival, leadID: rs.req.ID,
+			loadCost: s.submitCost(rs), coreID: -1,
+		}
+		s.ready = append(s.ready, j)
+		s.openJobs = append(s.openJobs, j)
+		s.decide(at, -1, "admit", rs, "secure")
+		return
+	}
+	wl, _ := workload.ByNameExtended(rs.req.Model)
+	task, err := s.deps.Driver.SubmitProgram(wl, rs.prog, false)
+	if err != nil {
+		if errors.Is(err, mem.ErrNoSpace) {
+			s.waitlist = append(s.waitlist, rs)
+			s.decide(at, -1, "defer", rs, "reserved memory full")
+			return
+		}
+		s.reject(rs, at, err.Error())
+		return
+	}
+	rs.task = task
+	j := &job{
+		members: []*reqState{rs}, prio: rs.req.Priority,
+		arrival: rs.req.Arrival, leadID: rs.req.ID, coreID: -1,
+	}
+	s.ready = append(s.ready, j)
+	s.decide(at, -1, "admit", rs, "non-secure")
+}
+
+// joinableBatch finds an open secure job this request may ride:
+// same tenant, model, and key, with batch room, not yet torn down.
+func (s *Scheduler) joinableBatch(rs *reqState) *job {
+	if s.cfg.MaxBatch <= 1 {
+		return nil
+	}
+	for _, j := range s.openJobs {
+		if len(j.members) >= s.cfg.MaxBatch {
+			continue
+		}
+		lead := j.lead()
+		if lead.req.Tenant == rs.req.Tenant && lead.req.Model == rs.req.Model &&
+			lead.req.KeyID == rs.req.KeyID {
+			return j
+		}
+	}
+	return nil
+}
+
+// closeBatch removes a finished/destroyed job from the joinable set.
+func (s *Scheduler) closeBatch(j *job) {
+	for i, o := range s.openJobs {
+		if o == j {
+			s.openJobs = append(s.openJobs[:i], s.openJobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// submitCost is the one-time monitor-side cost a job pays at first
+// load: the fixed verification/attestation handshake plus streaming
+// the sealed blob through the unsealing path at DRAM bandwidth.
+func (s *Scheduler) submitCost(rs *reqState) sim.Cycle {
+	bw := s.deps.Cfg.DRAMBytesPerCycle
+	if bw == 0 {
+		bw = 1
+	}
+	cost := s.cfg.SubmitBaseCycles
+	if n := len(rs.req.Sealed); n > 0 {
+		cost += sim.Cycle(uint64(n)/bw) + s.deps.Cfg.DRAMLatency
+	}
+	return cost
+}
+
+// retryWaitlist re-attempts admission for memory-starved requests in
+// (priority, arrival, id) order after something freed memory.
+func (s *Scheduler) retryWaitlist(at sim.Cycle) {
+	if len(s.waitlist) == 0 {
+		return
+	}
+	wl := s.waitlist
+	s.waitlist = nil
+	sort.SliceStable(wl, func(i, j int) bool { return reqLess(wl[i], wl[j]) })
+	for _, rs := range wl {
+		s.admit(rs, at)
+	}
+}
+
+// reqLess is the global request order: priority desc, arrival asc, id
+// asc.
+func reqLess(a, b *reqState) bool {
+	if a.req.Priority != b.req.Priority {
+		return a.req.Priority > b.req.Priority
+	}
+	if a.req.Arrival != b.req.Arrival {
+		return a.req.Arrival < b.req.Arrival
+	}
+	return a.req.ID < b.req.ID
+}
+
+func jobLess(a, b *job) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.leadID < b.leadID
+}
+
+// dispatchIdle places jobs on every idle core.
+func (s *Scheduler) dispatchIdle(clock sim.Cycle) {
+	for _, c := range s.cores {
+		if c.cur != nil {
+			continue
+		}
+		s.dispatchOn(c, clock)
+	}
+}
+
+// canHost reports whether core c could start job j now: resumed jobs
+// are affine to their core; fresh non-secure jobs need a free
+// translation-window slot.
+func (s *Scheduler) canHost(c *coreState, j *job) bool {
+	if j.coreID >= 0 && j.coreID != c.id {
+		return false
+	}
+	if !j.secure && !j.mapped && s.deps.Monitor != nil && s.freeSlot(c) < 0 {
+		return false
+	}
+	return true
+}
+
+// freeSlot finds the lowest free window slot on c (slot 0 is the
+// monitor's secure-task window).
+func (s *Scheduler) freeSlot(c *coreState) int {
+	for i := 1; i < len(c.slots); i++ {
+		if !c.slots[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatchOn picks the best placeable job for idle core c and starts
+// it. Deadline-expired leads are dropped here, at their first start
+// opportunity.
+func (s *Scheduler) dispatchOn(c *coreState, clock sim.Cycle) {
+	start := c.freeAt
+	if clock > start {
+		start = clock
+	}
+	for {
+		j, fromResume := s.pickFor(c, start)
+		if j == nil {
+			return
+		}
+		// Drop members whose start deadline has passed.
+		for !j.done() {
+			m := j.cur()
+			if m.req.Deadline > 0 && start > m.req.Deadline {
+				s.drop(m, start, c.id)
+				j.idx++
+				continue
+			}
+			break
+		}
+		if j.done() {
+			s.finishJob(c, j, start, fromResume)
+			continue
+		}
+		s.startJob(c, j, start, fromResume)
+		return
+	}
+}
+
+// pickFor removes and returns the highest-priority job core c can
+// host at cycle `start`, from its resume queue and the shared ready
+// queue. Resumed jobs have already run, so they are always eligible; a
+// fresh ready job is not schedulable before its lead's arrival (batch
+// admission during a slice can put not-yet-arrived jobs in the queue).
+func (s *Scheduler) pickFor(c *coreState, start sim.Cycle) (*job, bool) {
+	bestRi, bestQi := -1, -1
+	for i, j := range c.resume {
+		if bestRi < 0 || jobLess(j, c.resume[bestRi]) {
+			bestRi = i
+		}
+	}
+	for i, j := range s.ready {
+		if j.arrival > start || !s.canHost(c, j) {
+			continue
+		}
+		if bestQi < 0 || jobLess(j, s.ready[bestQi]) {
+			bestQi = i
+		}
+	}
+	switch {
+	case bestRi < 0 && bestQi < 0:
+		return nil, false
+	case bestRi >= 0 && (bestQi < 0 || !jobLess(s.ready[bestQi], c.resume[bestRi])):
+		j := c.resume[bestRi]
+		c.resume = append(c.resume[:bestRi], c.resume[bestRi+1:]...)
+		return j, true
+	default:
+		j := s.ready[bestQi]
+		s.ready = append(s.ready[:bestQi], s.ready[bestQi+1:]...)
+		return j, false
+	}
+}
+
+// startJob loads/maps the job on core c and leaves it as c.cur; the
+// main loop's advance() runs its slices.
+func (s *Scheduler) startJob(c *coreState, j *job, start sim.Cycle, resumed bool) {
+	m := j.cur()
+	if j.secure {
+		rep := s.deps.Monitor.Dispatch(monitor.Call{
+			Func: monitor.FnLoad,
+			Args: []uint64{uint64(j.monID), 0, uint64(s.deps.Cfg.SpadLines()), uint64(c.id)},
+		})
+		if rep.Err != nil {
+			// Load of a verified task on a healthy core should not fail;
+			// fail the whole job closed if it does.
+			s.abortJob(c, j, start, rep.Err)
+			return
+		}
+		if j.loadCost > 0 {
+			start += j.loadCost
+			j.loadCost = 0
+		}
+		if resumed {
+			// Restore the checkpointed accumulator context that the
+			// mandatory preemption flush saved.
+			cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+				s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			start += cost
+			s.flushCycles += cost
+		}
+	} else if s.deps.Monitor != nil && !j.mapped {
+		if j.slot == 0 {
+			j.slot = s.freeSlot(c)
+			if j.slot < 0 {
+				// canHost filtered this; defensive re-queue.
+				s.ready = append(s.ready, j)
+				return
+			}
+			c.slots[j.slot] = true
+		}
+		lo, hi := m.prog.VASpan()
+		vbase := mem.VirtAddr(mem.PageAlignDown(mem.PhysAddr(lo)))
+		size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PhysAddr(vbase))
+		rep := s.deps.Monitor.Dispatch(monitor.Call{
+			Func: monitor.FnMapNonSecure,
+			Args: []uint64{uint64(c.id), uint64(j.slot), uint64(vbase), uint64(m.task.Chunk), size},
+		})
+		if rep.Err != nil {
+			s.abortJob(c, j, start, rep.Err)
+			return
+		}
+		j.mapped = true
+	}
+	j.coreID = c.id
+	c.cur = j
+	c.freeAt = start
+	ev := "dispatch"
+	if resumed {
+		ev = "resume"
+	}
+	inc(s.obsDispatch)
+	s.decide(start, c.id, ev, m, fmt.Sprintf("prio=%d", j.prio))
+}
+
+// advance runs c's current member for one tile slice and handles
+// completion, faults, and boundary preemption.
+func (s *Scheduler) advance(c *coreState) {
+	j := c.cur
+	m := j.cur()
+	if m.ex == nil {
+		m.ex = npu.NewExec(c.core, m.prog, m.req.ID+10000)
+		m.started = true
+		m.start = c.freeAt
+		m.core = c.id
+	}
+	end, err := m.ex.RunUntil(c.freeAt, npu.BoundaryTile)
+	if err != nil {
+		var hang *npu.HangError
+		if errors.As(err, &hang) {
+			c.freeAt = hang.Detected
+		}
+		s.abortJob(c, j, c.freeAt, err)
+		return
+	}
+	c.freeAt = end
+	s.admitUpTo(end)
+
+	if m.ex.Done() {
+		m.finish = end
+		m.terminal, m.completed = true, true
+		inc(s.obsComplete)
+		if s.obsLatency != nil {
+			s.obsLatency.Observe(int64(end - m.req.Arrival))
+		}
+		s.decide(end, c.id, "complete", m, fmt.Sprintf("latency=%d", end-m.req.Arrival))
+		j.idx++
+		// Drop any queued batch-mates whose start deadline has passed.
+		for !j.done() {
+			next := j.cur()
+			if next.req.Deadline > 0 && end > next.req.Deadline {
+				s.drop(next, end, c.id)
+				j.idx++
+				continue
+			}
+			break
+		}
+		if j.done() {
+			s.finishJob(c, j, end, false)
+		}
+		return
+	}
+
+	// §IV-B boundary preemption: a strictly higher-priority placeable
+	// job evicts the running one at the tile boundary.
+	if s.preemptorWaiting(c, j.prio) {
+		s.preempt(c, end)
+	}
+}
+
+// preemptorWaiting reports a strictly higher-priority job core c could
+// host right now.
+func (s *Scheduler) preemptorWaiting(c *coreState, prio Priority) bool {
+	for _, o := range c.resume {
+		if o.prio > prio {
+			return true
+		}
+	}
+	for _, o := range s.ready {
+		if o.prio > prio && s.canHost(c, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// preempt evicts c's current job at a tile boundary. Secure victims
+// pay the mandatory flush (monitor scrub + ID-bit reassignment + the
+// context save on the critical path); non-secure victims cost nothing
+// — their lines stay behind the ID check, which is exactly sNPU's
+// Fig. 14 argument.
+func (s *Scheduler) preempt(c *coreState, at sim.Cycle) {
+	j := c.cur
+	m := j.cur()
+	m.preempts++
+	inc(s.obsPreempt)
+	if s.deps.Stats != nil {
+		s.deps.Stats.Inc(sim.CtrCtxSwitches)
+	}
+	if j.secure {
+		rep := s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnPreempt, Args: []uint64{uint64(j.monID)}})
+		if rep.Err != nil {
+			s.abortJob(c, j, at, rep.Err)
+			return
+		}
+		cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+			s.deps.Cfg.DRAMLatency, s.deps.Stats)
+		c.freeAt = at + cost
+		s.flushCycles += cost
+		s.invalidateWindows(c)
+	}
+	s.decide(at, c.id, "preempt", m, fmt.Sprintf("prio=%d", j.prio))
+	c.resume = append(c.resume, j)
+	c.cur = nil
+}
+
+// finishJob tears the job's residency down after its last member.
+func (s *Scheduler) finishJob(c *coreState, j *job, at sim.Cycle, wasResumed bool) {
+	if j.secure {
+		s.closeBatch(j)
+		if rep := s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnUnload, Args: []uint64{uint64(j.monID)}}); rep.Err == nil {
+			s.invalidateWindows(c)
+		}
+		s.memFreed = true
+	} else {
+		for _, m := range j.members {
+			if m.task != nil {
+				_ = s.deps.Driver.Release(m.task)
+				m.task = nil
+			}
+		}
+		if j.slot > 0 {
+			c.slots[j.slot] = false
+			j.slot = 0
+		}
+		s.memFreed = true
+	}
+	if c.cur == j {
+		c.cur = nil
+	}
+	_ = wasResumed
+}
+
+// invalidateWindows records that the monitor's ClearTask wiped every
+// translation register on c: resident non-secure jobs must remap
+// before their next slice.
+func (s *Scheduler) invalidateWindows(c *coreState) {
+	for _, o := range c.resume {
+		if !o.secure {
+			o.mapped = false
+		}
+	}
+}
+
+// abortJob is the fail-closed path: the monitor scrubs and destroys
+// the secure task; every unfinished member surfaces only the opaque
+// ErrTaskAborted.
+func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
+	if j.secure {
+		s.closeBatch(j)
+		task, err := s.deps.Monitor.Task(j.monID)
+		if err == nil && task != nil {
+			_ = s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnAbort, Args: []uint64{uint64(j.monID)}})
+			s.invalidateWindows(c)
+		}
+		s.memFreed = true
+	} else {
+		for _, m := range j.members {
+			if m.task != nil {
+				_ = s.deps.Driver.Release(m.task)
+				m.task = nil
+			}
+		}
+		if j.slot > 0 && j.slot < len(c.slots) {
+			c.slots[j.slot] = false
+			j.slot = 0
+		}
+		s.memFreed = true
+	}
+	for i := j.idx; i < len(j.members); i++ {
+		m := j.members[i]
+		m.terminal, m.aborted = true, true
+		m.finish = at
+		m.errMsg = ErrTaskAborted.Error()
+		inc(s.obsAbort)
+		s.decide(at, c.id, "abort", m, "")
+	}
+	_ = cause // never surfaced: the abort is opaque to the untrusted side
+	if c.cur == j {
+		c.cur = nil
+	}
+}
+
+func (s *Scheduler) drop(m *reqState, at sim.Cycle, core int) {
+	m.terminal, m.dropped = true, true
+	m.finish = at
+	m.errMsg = "sched: deadline missed"
+	s.decide(at, core, "drop", m, fmt.Sprintf("deadline=%d", m.req.Deadline))
+}
+
+func (s *Scheduler) reject(rs *reqState, at sim.Cycle, msg string) {
+	rs.terminal, rs.rejected = true, true
+	rs.errMsg = msg
+	inc(s.obsReject)
+	s.decide(at, -1, "reject", rs, msg)
+}
+
+// rejectStranded fails every leftover request when no placement can
+// ever succeed (e.g. a secure model larger than secure memory with
+// nothing left to free).
+func (s *Scheduler) rejectStranded(at sim.Cycle) {
+	for _, rs := range s.waitlist {
+		s.reject(rs, at, "no capacity")
+	}
+	s.waitlist = nil
+	for _, j := range s.ready {
+		if j.secure {
+			s.closeBatch(j)
+			_ = s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnUnload, Args: []uint64{uint64(j.monID)}})
+		}
+		for i := j.idx; i < len(j.members); i++ {
+			s.reject(j.members[i], at, "no capacity")
+		}
+	}
+	s.ready = nil
+}
+
+func (s *Scheduler) decide(at sim.Cycle, core int, ev string, rs *reqState, detail string) {
+	d := Decision{
+		Cycle: at, Core: core, Event: ev,
+		Req: rs.req.ID, Tenant: rs.req.Tenant, Model: rs.req.Model, Detail: detail,
+	}
+	s.decisions = append(s.decisions, d)
+	if s.cfg.OnDecision != nil {
+		s.cfg.OnDecision(d)
+	}
+}
+
+func (s *Scheduler) assemble() *Report {
+	rep := &Report{Decisions: s.decisions, FlushCycles: s.flushCycles}
+	ordered := append([]*reqState(nil), s.all...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].req.ID < ordered[j].req.ID })
+	for _, rs := range ordered {
+		r := Result{
+			ID: rs.req.ID, Tenant: rs.req.Tenant, Model: rs.req.Model,
+			Secure: rs.req.Secure, Arrival: rs.req.Arrival,
+			Start: rs.start, Finish: rs.finish, Core: rs.core,
+			Preemptions: rs.preempts, Batched: rs.batched,
+			Completed: rs.completed, Dropped: rs.dropped,
+			Aborted: rs.aborted, Rejected: rs.rejected, Err: rs.errMsg,
+		}
+		rep.Results = append(rep.Results, r)
+		rep.Preemptions += rs.preempts
+		switch {
+		case rs.completed:
+			rep.Completed++
+			if rs.batched {
+				rep.BatchedRuns++
+			}
+			if rs.finish > rep.Makespan {
+				rep.Makespan = rs.finish
+			}
+		case rs.dropped:
+			rep.Dropped++
+		case rs.aborted:
+			rep.Aborted++
+		case rs.rejected:
+			rep.Rejected++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,314 @@
+// Package sched_test drives the scheduler through the public System
+// API (an external test package may import the root package; the
+// scheduler itself must not, to keep the dependency arrow pointing
+// inward).
+package sched_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	snpu "repro"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func bootSched(t *testing.T, cfg sched.Config) (*snpu.System, *sched.Scheduler) {
+	t.Helper()
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sc
+}
+
+func sealFor(t *testing.T, sys *snpu.System, keyID string, fill byte) []byte {
+	t.Helper()
+	key := bytes.Repeat([]byte{fill}, snpu.SealKeySize)
+	if err := sys.ProvisionKey(keyID, key); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := snpu.SealModel(key, bytes.Repeat([]byte{fill ^ 0x5a}, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+// A mixed secure/non-secure trace completes, every request retires
+// exactly once, and secure results carry positive cycle spans.
+func TestSchedulerMixedTraceCompletes(t *testing.T) {
+	sys, sc := bootSched(t, sched.Config{Cores: []int{0, 1}})
+	sealed := sealFor(t, sys, "tenant-a-key", 1)
+	reqs := []sched.Request{
+		{ID: 1, Tenant: "a", Model: "mobilenet", Secure: true, Arrival: 0, KeyID: "tenant-a-key", Sealed: sealed},
+		{ID: 2, Tenant: "b", Model: "mobilenet", Arrival: 0},
+		{ID: 3, Tenant: "b", Model: "alexnet", Arrival: 1000},
+		{ID: 4, Tenant: "a", Model: "mobilenet", Secure: true, Arrival: 2000, KeyID: "tenant-a-key", Sealed: sealed},
+	}
+	for _, r := range reqs {
+		if err := sc.Submit(r); err != nil {
+			t.Fatalf("submit %d: %v", r.ID, err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(reqs) {
+		t.Fatalf("completed = %d of %d\n%s", rep.Completed, len(reqs), rep.DecisionLog())
+	}
+	for _, r := range rep.Results {
+		if !r.Completed {
+			t.Fatalf("req %d not completed: %+v", r.ID, r)
+		}
+		if r.Finish <= r.Start {
+			t.Fatalf("req %d: finish %d <= start %d", r.ID, r.Finish, r.Start)
+		}
+		if r.Start < r.Arrival {
+			t.Fatalf("req %d started at %d before arrival %d", r.ID, r.Start, r.Arrival)
+		}
+	}
+	if rep.Makespan == 0 {
+		t.Fatal("zero makespan")
+	}
+	// Same tenant, same model, same key, MaxBatch default: req 4 may
+	// batch onto req 1 only if 1's job was still open; either way the
+	// log must mention both secure admissions.
+	log := rep.DecisionLog()
+	for _, want := range []string{"req=1", "req=2", "req=3", "req=4", "complete"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("decision log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// A higher-priority secure arrival preempts a running low-priority
+// task at a tile boundary; the victim still completes afterwards and
+// pays the flush.
+func TestSchedulerPreemptsForPriority(t *testing.T) {
+	sys, sc := bootSched(t, sched.Config{Cores: []int{0}})
+	sealed := sealFor(t, sys, "k", 2)
+	if err := sc.Submit(sched.Request{
+		ID: 1, Tenant: "lo", Model: "resnet", Secure: true, Priority: 0,
+		Arrival: 0, KeyID: "k", Sealed: sealed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{
+		ID: 2, Tenant: "hi", Model: "mobilenet", Secure: true, Priority: 10,
+		Arrival: 50_000, KeyID: "k", Sealed: sealed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	victim := rep.ResultByID(1)
+	if victim.Preemptions == 0 {
+		t.Fatalf("low-priority task never preempted\n%s", rep.DecisionLog())
+	}
+	if rep.FlushCycles == 0 {
+		t.Fatal("secure preemption paid no flush cycles")
+	}
+	hi := rep.ResultByID(2)
+	if hi.Finish >= victim.Finish {
+		t.Fatalf("high-priority finished at %d after victim's %d", hi.Finish, victim.Finish)
+	}
+}
+
+// Deadline-expired requests are dropped at their first start
+// opportunity, never run late.
+func TestSchedulerDropsMissedDeadlines(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}})
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Model: "resnet", Arrival: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline 1: core 0 is busy with resnet well past cycle 1.
+	if err := sc.Submit(sched.Request{ID: 2, Tenant: "b", Model: "mobilenet", Arrival: 0, Deadline: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rep.ResultByID(2)
+	if !r2.Dropped || r2.Completed {
+		t.Fatalf("req 2 = %+v, want dropped\n%s", r2, rep.DecisionLog())
+	}
+	if rep.Completed != 1 || rep.Dropped != 1 {
+		t.Fatalf("completed=%d dropped=%d", rep.Completed, rep.Dropped)
+	}
+}
+
+// Same-tenant same-model secure requests share one FnSubmit: followers
+// are marked batched and the monitor sees fewer submits than requests.
+func TestSchedulerBatchesSameModel(t *testing.T) {
+	sys, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 4})
+	sealed := sealFor(t, sys, "k", 3)
+	for id := 1; id <= 3; id++ {
+		if err := sc.Submit(sched.Request{
+			ID: id, Tenant: "a", Model: "mobilenet", Secure: true,
+			Arrival: 0, KeyID: "k", Sealed: sealed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	if rep.BatchedRuns != 2 {
+		t.Fatalf("batched runs = %d, want 2 (followers of req 1)\n%s", rep.BatchedRuns, rep.DecisionLog())
+	}
+	if got := sys.Monitor().QueueLen(); got != 0 {
+		t.Fatalf("monitor queue len = %d after run", got)
+	}
+}
+
+// Front-door validation: bad requests are refused at Submit, and a
+// consumed scheduler refuses everything.
+func TestSchedulerSubmitValidation(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}})
+	cases := []struct {
+		req  sched.Request
+		want error
+	}{
+		{sched.Request{ID: 0, Tenant: "a", Model: "mobilenet"}, sched.ErrBadRequest},
+		{sched.Request{ID: 1, Tenant: "", Model: "mobilenet"}, sched.ErrBadRequest},
+		{sched.Request{ID: 1, Tenant: "a", Model: "no-such-model"}, sched.ErrBadRequest},
+		{sched.Request{ID: 1, Tenant: "a", Model: "mobilenet", Secure: true,
+			Sealed: make([]byte, sched.MaxSealedBytes+1)}, sched.ErrModelTooLarge},
+	}
+	for i, c := range cases {
+		if err := sc.Submit(c.req); !errors.Is(err, c.want) {
+			t.Fatalf("case %d: err = %v, want %v", i, err, c.want)
+		}
+	}
+	if err := sc.Submit(sched.Request{ID: 7, Tenant: "a", Model: "mobilenet"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{ID: 7, Tenant: "b", Model: "mobilenet"}); !errors.Is(err, sched.ErrDuplicateID) {
+		t.Fatalf("duplicate id: %v", err)
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); !errors.Is(err, sched.ErrAlreadyRan) {
+		t.Fatalf("second run: %v", err)
+	}
+	if err := sc.Submit(sched.Request{ID: 8, Tenant: "a", Model: "mobilenet"}); !errors.Is(err, sched.ErrAlreadyRan) {
+		t.Fatalf("submit after run: %v", err)
+	}
+}
+
+// Secure requests on the unprotected baseline are refused; non-secure
+// requests still serve.
+func TestSchedulerBaselineServesNonSecureOnly(t *testing.T) {
+	sys, err := snpu.New(snpu.BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.NewScheduler(sched.Config{Cores: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Model: "mobilenet", Secure: true}); !errors.Is(err, sched.ErrNoMonitor) {
+		t.Fatalf("secure on baseline: %v", err)
+	}
+	if err := sc.Submit(sched.Request{ID: 2, Tenant: "a", Model: "mobilenet"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+}
+
+// More concurrent non-secure requests than reserved memory can hold:
+// the overflow defers and completes once memory frees, work-conserving
+// across both cores.
+func TestSchedulerDefersOnMemoryPressure(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0, 1}})
+	// alexnet's span is large; enough copies exhaust 384 MiB reserved.
+	for id := 1; id <= 12; id++ {
+		if err := sc.Submit(sched.Request{ID: id, Tenant: "t", Model: "alexnet", Arrival: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 12 {
+		t.Fatalf("completed = %d of 12 (rejected=%d)\n%s", rep.Completed, rep.Rejected, rep.DecisionLog())
+	}
+	if !strings.Contains(rep.DecisionLog(), "defer") {
+		t.Skip("reserved memory fit all 12 alexnets; deferral not exercised at this config")
+	}
+}
+
+// The decision log is cycle-monotone per core and every completed
+// request has exactly one dispatch..complete bracket.
+func TestSchedulerDecisionLogShape(t *testing.T) {
+	sys, sc := bootSched(t, sched.Config{Cores: []int{0, 1, 2}})
+	sealed := sealFor(t, sys, "k", 4)
+	models := []string{"mobilenet", "alexnet", "yololite"}
+	for id := 1; id <= 9; id++ {
+		r := sched.Request{
+			ID: id, Tenant: "t", Model: models[id%3],
+			Arrival: sim.Cycle(id * 500), Priority: sched.Priority(id % 2),
+		}
+		if id%3 == 0 {
+			r.Secure, r.KeyID, r.Sealed = true, "k", sealed
+		}
+		if err := sc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastPerCore := map[int]sim.Cycle{}
+	dispatches := map[int]int{}
+	completes := map[int]int{}
+	for _, d := range rep.Decisions {
+		if d.Core >= 0 {
+			if d.Cycle < lastPerCore[d.Core] {
+				t.Fatalf("core %d time went backwards: %v", d.Core, d)
+			}
+			lastPerCore[d.Core] = d.Cycle
+		}
+		switch d.Event {
+		case "dispatch", "resume":
+			dispatches[d.Req]++
+		case "complete":
+			completes[d.Req]++
+		}
+	}
+	for _, r := range rep.Results {
+		if !r.Completed {
+			continue
+		}
+		if completes[r.ID] != 1 {
+			t.Fatalf("req %d completed %d times", r.ID, completes[r.ID])
+		}
+	}
+}

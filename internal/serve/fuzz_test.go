@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	snpu "repro"
+)
+
+// FuzzServeRequest throws arbitrary bodies at every mutating endpoint
+// of one long-lived server. The daemon's contract under hostile input:
+// never panic, never 5xx, and refuse every malformed submission with a
+// 4xx — the scheduler and monitor must be unreachable by garbage.
+func FuzzServeRequest(f *testing.F) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(sys, Config{Cores: []int{0}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := srv.Handler()
+
+	f.Add(uint8(0), `{"tenant":"a","model":"resnet"}`)
+	f.Add(uint8(0), `{"id":7,"tenant":"a","model":"mobilenet","secure":true,"key_id":"k","sealed_b64":"AAAA"}`)
+	f.Add(uint8(0), `{"id":7,"tenant":"a","model":"mobilenet"}`) // duplicate-id probe
+	f.Add(uint8(0), `{"tenant":"a","model":"resnet","arrival":18446744073709551615}`)
+	f.Add(uint8(0), `{"tenant":`)
+	f.Add(uint8(0), `null`)
+	f.Add(uint8(0), `[1,2,3]`)
+	f.Add(uint8(1), `{"key_id":"k","key_b64":"////"}`)
+	f.Add(uint8(1), `{"key_id":"","key_b64":"!"}`)
+	f.Add(uint8(2), ``)
+	f.Add(uint8(3), `{"evil":"body on a GET route"}`)
+
+	paths := []string{"/v1/submit", "/v1/keys", "/v1/run", "/v1/status", "/metrics", "/nope"}
+
+	f.Fuzz(func(t *testing.T, which uint8, body string) {
+		path := paths[int(which)%len(paths)]
+		method := "POST"
+		if path == "/v1/status" || path == "/metrics" {
+			method = "GET"
+		}
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		if rec.Code >= 500 {
+			t.Fatalf("%s %s -> %d (5xx under hostile input): %.300s", method, path, rec.Code, rec.Body.String())
+		}
+		// A submit that was accepted must have carried a well-formed
+		// request; spot-check the invariant cheaply.
+		if path == "/v1/submit" && rec.Code == http.StatusAccepted &&
+			!strings.Contains(rec.Body.String(), `"id"`) {
+			t.Fatalf("accepted submit without an id: %s", rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,348 @@
+// Package serve is the HTTP/JSON front end of the multi-tenant
+// scheduler (internal/sched): tenants provision sealing keys, submit
+// secure and non-secure inference requests, and trigger deterministic
+// scheduling episodes over the simulated SoC. The daemon itself is
+// beyond the paper; it exists to drive the §IV-B scheduling path the
+// way a serving stack would, and to give the fuzzer a hostile-input
+// surface that must fail closed (malformed bodies, oversized sealed
+// models, duplicate IDs are all 4xx, never panics, never monitor
+// state).
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	snpu "repro"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// MaxBodyBytes caps any request body: the sealed-model cap plus
+// base64 expansion plus JSON framing headroom.
+const MaxBodyBytes = sched.MaxSealedBytes*4/3 + 64*1024
+
+// Config tunes the daemon's scheduler episodes.
+type Config struct {
+	// Cores, Workers, MaxBatch pass through to sched.Config.
+	Cores    []int
+	Workers  int
+	MaxBatch int
+}
+
+// Server accumulates submissions and runs them as scheduler episodes.
+// It serializes all scheduler access behind one mutex: the simulated
+// SoC is single-clocked, so concurrent HTTP clients see atomic
+// submit/run semantics.
+type Server struct {
+	mu     sync.Mutex
+	sys    *snpu.System
+	cfg    Config
+	sched  *sched.Scheduler
+	nextID int
+
+	episodes  int
+	completed int
+	rejected  int
+	dropped   int
+	aborted   int
+	last      *sched.Report
+}
+
+// New wraps a booted System. The system's observability layer (if
+// enabled) feeds GET /metrics.
+func New(sys *snpu.System, cfg Config) (*Server, error) {
+	s := &Server{sys: sys, cfg: cfg, nextID: 1}
+	if err := s.resetScheduler(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) resetScheduler() error {
+	sc, err := s.sys.NewScheduler(sched.Config{
+		Cores:    s.cfg.Cores,
+		Workers:  s.cfg.Workers,
+		MaxBatch: s.cfg.MaxBatch,
+	})
+	if err != nil {
+		return err
+	}
+	s.sched = sc
+	return nil
+}
+
+// Handler builds the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/keys", s.handleKeys)
+	mux.HandleFunc("/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return http.MaxBytesHandler(mux, MaxBodyBytes)
+}
+
+// SubmitRequest is the POST /v1/submit body.
+type SubmitRequest struct {
+	// ID is optional; 0 lets the server assign the next free one.
+	ID       int    `json:"id,omitempty"`
+	Tenant   string `json:"tenant"`
+	Model    string `json:"model"`
+	Secure   bool   `json:"secure,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Arrival  uint64 `json:"arrival,omitempty"`
+	Deadline uint64 `json:"deadline,omitempty"`
+	KeyID    string `json:"key_id,omitempty"`
+	// SealedB64 is the base64-encoded sealed model blob.
+	SealedB64 string `json:"sealed_b64,omitempty"`
+}
+
+// KeyRequest is the POST /v1/keys body.
+type KeyRequest struct {
+	KeyID  string `json:"key_id"`
+	KeyB64 string `json:"key_b64"`
+}
+
+// RunReport is the POST /v1/run response: the episode's results plus
+// the rendered decision log, both deterministic for a given submitted
+// trace.
+type RunReport struct {
+	Episode     int            `json:"episode"`
+	Results     []sched.Result `json:"results"`
+	DecisionLog []string       `json:"decision_log"`
+	Makespan    sim.Cycle      `json:"makespan"`
+	FlushCycles sim.Cycle      `json:"flush_cycles"`
+	Completed   int            `json:"completed"`
+	Rejected    int            `json:"rejected"`
+	Dropped     int            `json:"dropped"`
+	Aborted     int            `json:"aborted"`
+	Preemptions int            `json:"preemptions"`
+	BatchedRuns int            `json:"batched_runs"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a JSON body, failing closed on syntax errors, unknown
+// fields, trailing garbage, and oversized payloads.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", MaxBodyBytes)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "trailing data after json body")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req KeyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	key, err := base64.StdEncoding.DecodeString(req.KeyB64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "key_b64: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys.Monitor() == nil {
+		writeErr(w, http.StatusNotImplemented, "baseline system has no monitor")
+		return
+	}
+	if err := s.sys.ProvisionKey(req.KeyID, key); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sealed, err := base64.StdEncoding.DecodeString(req.SealedB64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "sealed_b64: %v", err)
+		return
+	}
+	if req.ID < 0 || req.Priority < -1000 || req.Priority > 1000 {
+		writeErr(w, http.StatusBadRequest, "id/priority out of range")
+		return
+	}
+	if req.Arrival > math.MaxInt64 || req.Deadline > math.MaxInt64 {
+		writeErr(w, http.StatusBadRequest, "arrival/deadline out of range")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := req.ID
+	if id == 0 {
+		id = s.nextID
+	}
+	err = s.sched.Submit(sched.Request{
+		ID:       id,
+		Tenant:   req.Tenant,
+		Model:    req.Model,
+		Secure:   req.Secure,
+		Priority: sched.Priority(req.Priority),
+		Arrival:  sim.Cycle(req.Arrival),
+		Deadline: sim.Cycle(req.Deadline),
+		KeyID:    req.KeyID,
+		Sealed:   sealed,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, sched.ErrDuplicateID):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, sched.ErrModelTooLarge):
+		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	case errors.Is(err, sched.ErrNoMonitor):
+		writeErr(w, http.StatusNotImplemented, "%v", err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sched.Pending() == 0 {
+		writeErr(w, http.StatusConflict, "no pending requests")
+		return
+	}
+	rep, err := s.sched.Run()
+	// The scheduler is consumed either way; arm the next episode.
+	if rerr := s.resetScheduler(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.episodes++
+	s.completed += rep.Completed
+	s.rejected += rep.Rejected
+	s.dropped += rep.Dropped
+	s.aborted += rep.Aborted
+	s.last = rep
+	out := RunReport{
+		Episode:     s.episodes,
+		Results:     rep.Results,
+		DecisionLog: make([]string, 0, len(rep.Decisions)),
+		Makespan:    rep.Makespan,
+		FlushCycles: rep.FlushCycles,
+		Completed:   rep.Completed,
+		Rejected:    rep.Rejected,
+		Dropped:     rep.Dropped,
+		Aborted:     rep.Aborted,
+		Preemptions: rep.Preemptions,
+		BatchedRuns: rep.BatchedRuns,
+	}
+	for _, d := range rep.Decisions {
+		out.DecisionLog = append(out.DecisionLog, d.String())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := map[string]any{
+		"pending":   s.sched.Pending(),
+		"episodes":  s.episodes,
+		"completed": s.completed,
+		"rejected":  s.rejected,
+		"dropped":   s.dropped,
+		"aborted":   s.aborted,
+		"protected": s.sys.Monitor() != nil,
+	}
+	if s.last != nil {
+		status["last_makespan"] = s.last.Makespan
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleMetrics serves the attached observability registry in
+// Prometheus text format (404 when observability is off).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	o := s.sys.Observer()
+	s.mu.Unlock()
+	if o == nil {
+		writeErr(w, http.StatusNotFound, "observability not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = o.Registry().WritePrometheus(w)
+}
+
+// Boot builds a protected system with observability on, ready for New
+// (the daemon's default; tests boot their own variants).
+func Boot() (*snpu.System, error) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sys.EnableObservability(obs.Config{})
+	return sys, nil
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	snpu "repro"
+	"repro/internal/obs"
+)
+
+func bootServer(t *testing.T) (*snpu.System, http.Handler) {
+	t.Helper()
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableObservability(obs.Config{})
+	srv, err := New(sys, Config{Cores: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv.Handler()
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// The full serving flow: provision a key, submit a mixed trace, run
+// the episode, read status and metrics.
+func TestServeEndToEnd(t *testing.T) {
+	_, h := bootServer(t)
+
+	key := bytes.Repeat([]byte{7}, snpu.SealKeySize)
+	sealed, err := snpu.SealModel(key, []byte("tenant-a model weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyBody, _ := json.Marshal(KeyRequest{KeyID: "ka", KeyB64: base64.StdEncoding.EncodeToString(key)})
+	if rec := do(t, h, "POST", "/v1/keys", string(keyBody)); rec.Code != http.StatusNoContent {
+		t.Fatalf("keys: %d %s", rec.Code, rec.Body)
+	}
+
+	submits := []SubmitRequest{
+		{Tenant: "a", Model: "mobilenet", Secure: true, KeyID: "ka",
+			SealedB64: base64.StdEncoding.EncodeToString(sealed)},
+		{Tenant: "b", Model: "resnet"},
+		{Tenant: "b", Model: "mobilenet", Arrival: 5000},
+	}
+	for i, sr := range submits {
+		body, _ := json.Marshal(sr)
+		rec := do(t, h, "POST", "/v1/submit", string(body))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, rec.Code, rec.Body)
+		}
+		var got map[string]int
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil || got["id"] != i+1 {
+			t.Fatalf("submit %d: id = %v (%v)", i, got, err)
+		}
+	}
+
+	rec := do(t, h, "POST", "/v1/run", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", rec.Code, rec.Body)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 || rep.Episode != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.DecisionLog) == 0 {
+		t.Fatal("empty decision log")
+	}
+
+	rec = do(t, h, "GET", "/v1/status", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"completed":3`) {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "sched_complete_count") {
+		t.Fatalf("metrics: %d %.200s", rec.Code, rec.Body)
+	}
+
+	// The next episode starts clean: running with nothing pending is 409.
+	if rec := do(t, h, "POST", "/v1/run", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("empty run: %d", rec.Code)
+	}
+}
+
+// Hostile inputs fail closed with 4xx, exactly as the fuzz target
+// requires: malformed JSON, unknown fields, bad base64, unknown
+// models, duplicate IDs, oversized sealed models.
+func TestServeRejectsHostileInputs(t *testing.T) {
+	_, h := bootServer(t)
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad-json", "/v1/submit", `{"tenant":`, http.StatusBadRequest},
+		{"unknown-field", "/v1/submit", `{"tenant":"a","model":"resnet","evil":1}`, http.StatusBadRequest},
+		{"trailing", "/v1/submit", `{"tenant":"a","model":"resnet"}{}`, http.StatusBadRequest},
+		{"bad-b64", "/v1/submit", `{"tenant":"a","model":"resnet","sealed_b64":"!!"}`, http.StatusBadRequest},
+		{"no-model", "/v1/submit", `{"tenant":"a","model":"nope"}`, http.StatusBadRequest},
+		{"neg-id", "/v1/submit", `{"id":-4,"tenant":"a","model":"resnet"}`, http.StatusBadRequest},
+		{"bad-key-b64", "/v1/keys", `{"key_id":"k","key_b64":"%%"}`, http.StatusBadRequest},
+		{"method", "/v1/submit", ``, http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		method := "POST"
+		if c.name == "method" {
+			method = "GET"
+		}
+		if rec := do(t, h, method, c.path, c.body); rec.Code != c.want {
+			t.Fatalf("%s: code = %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body)
+		}
+	}
+
+	// Duplicate IDs: second submit with the same explicit ID is 409.
+	body := `{"id":9,"tenant":"a","model":"resnet"}`
+	if rec := do(t, h, "POST", "/v1/submit", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("first: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/submit", body); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate: %d", rec.Code)
+	}
+
+	// Oversized sealed model: 413 from the size cap (the body cap may
+	// fire first for truly huge payloads; both are 413).
+	big := base64.StdEncoding.EncodeToString(make([]byte, 9<<20))
+	over := fmt.Sprintf(`{"tenant":"a","model":"resnet","secure":true,"key_id":"k","sealed_b64":"%s"}`, big)
+	if rec := do(t, h, "POST", "/v1/submit", over); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: %d %.200s", rec.Code, rec.Body)
+	}
+}
+
+// The baseline daemon refuses key provisioning and secure submits
+// with 501 but serves non-secure requests.
+func TestServeBaseline(t *testing.T) {
+	sys, err := snpu.New(snpu.BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Config{Cores: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	if rec := do(t, h, "POST", "/v1/keys", `{"key_id":"k","key_b64":""}`); rec.Code != http.StatusNotImplemented {
+		t.Fatalf("keys on baseline: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/submit", `{"tenant":"a","model":"resnet","secure":true}`); rec.Code != http.StatusNotImplemented {
+		t.Fatalf("secure on baseline: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/submit", `{"tenant":"a","model":"resnet"}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("non-secure on baseline: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/run", ""); rec.Code != http.StatusOK {
+		t.Fatalf("run on baseline: %d %s", rec.Code, rec.Body)
+	}
+	// Metrics 404s without observability.
+	if rec := do(t, h, "GET", "/metrics", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("metrics without obs: %d", rec.Code)
+	}
+}

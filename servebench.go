@@ -1,0 +1,249 @@
+package snpu
+
+// The serve experiment: a seeded open-loop load generator driving the
+// multi-tenant scheduler (internal/sched) across a sweep of arrival
+// rates, reporting throughput, tail latency, preemption/batching
+// activity, and cross-tenant fairness. Serving is beyond the paper;
+// the sweep exists to exercise the §IV-B context-switch machinery
+// under contention and to pin its cycle-determinism (the same seed
+// yields a byte-identical table at any -j width).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ServeBenchConfig tunes the load sweep. The zero value selects the
+// defaults below.
+type ServeBenchConfig struct {
+	// Requests per load point (default 36).
+	Requests int
+	// LoadsPerM are the offered arrival rates in requests per million
+	// cycles. The defaults straddle the 4-core capacity of the default
+	// mix (~0.2 done/Mcyc): light, near-saturation, and overloaded.
+	LoadsPerM []float64
+	// Cores for the scheduler (default 0..3).
+	Cores []int
+	// Tenants is the number of submitting tenants (default 3).
+	Tenants int
+	// MaxBatch passes through to the scheduler (0 = default).
+	MaxBatch int
+}
+
+func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
+	if c.Requests <= 0 {
+		c.Requests = 36
+	}
+	if len(c.LoadsPerM) == 0 {
+		c.LoadsPerM = []float64{0.05, 0.2, 0.8}
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = []int{0, 1, 2, 3}
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 3
+	}
+	return c
+}
+
+// serveModels is the request-mix model pool (kept to the cheaper
+// workloads so the sweep stays fast).
+var serveModels = []string{"mobilenet", "yololite", "alexnet"}
+
+// ServeBenchRow is one load point.
+type ServeBenchRow struct {
+	LoadPerM  float64
+	Requests  int
+	Completed int
+	Dropped   int
+	Aborted   int
+	Rejected  int
+	Makespan  sim.Cycle
+	// ThroughputPerM is completed requests per million cycles of
+	// makespan.
+	ThroughputPerM float64
+	P50, P99       sim.Cycle
+	Preemptions    int
+	BatchedRuns    int
+	FlushCycles    sim.Cycle
+	// Fairness is Jain's index over per-tenant completed counts
+	// (1.0 = perfectly even service).
+	Fairness float64
+}
+
+// ServeBenchResult is the full sweep.
+type ServeBenchResult struct {
+	Seed int64
+	Rows []ServeBenchRow
+}
+
+// TableString renders the sweep.
+func (r *ServeBenchResult) TableString() string {
+	header := []string{"load/Mcyc", "reqs", "done", "drop", "abort", "rej",
+		"thru/Mcyc", "p50-cyc", "p99-cyc", "preempts", "batched", "flush-cyc", "fairness"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", row.LoadPerM),
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Dropped),
+			fmt.Sprintf("%d", row.Aborted),
+			fmt.Sprintf("%d", row.Rejected),
+			fmt.Sprintf("%.3f", row.ThroughputPerM),
+			fmt.Sprintf("%d", row.P50),
+			fmt.Sprintf("%d", row.P99),
+			fmt.Sprintf("%d", row.Preemptions),
+			fmt.Sprintf("%d", row.BatchedRuns),
+			fmt.Sprintf("%d", row.FlushCycles),
+			fmt.Sprintf("%.3f", row.Fairness),
+		})
+	}
+	return experiments.Table(header, rows)
+}
+
+// ServeTrace generates the deterministic request trace for one load
+// point: exponential inter-arrivals at loadPerM requests per million
+// cycles, tenants round-robined through a seeded RNG, models drawn
+// from the serve pool, roughly half the requests secure, and every
+// fifth request carrying a start deadline. Exposed so the differential
+// tests replay the exact trace the bench ran.
+func ServeTrace(seed int64, loadPerM float64, n, tenants int) []sched.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]sched.Request, 0, n)
+	var at float64
+	for i := 1; i <= n; i++ {
+		at += rng.ExpFloat64() * 1e6 / loadPerM
+		tenant := rng.Intn(tenants)
+		r := sched.Request{
+			ID:       i,
+			Tenant:   fmt.Sprintf("t%d", tenant),
+			Model:    serveModels[rng.Intn(len(serveModels))],
+			Priority: sched.Priority(rng.Intn(3)),
+			Arrival:  sim.Cycle(at),
+			Secure:   rng.Intn(2) == 0,
+			KeyID:    fmt.Sprintf("t%d-key", tenant),
+		}
+		if i%5 == 0 {
+			r.Deadline = r.Arrival + sim.Cycle(4e6/loadPerM)
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// ServeBench runs the load sweep. Each load point boots a fresh
+// protected SoC, provisions per-tenant sealing keys, replays the
+// seeded trace through a scheduler episode, and summarizes the report.
+func ServeBench(seed int64, cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ServeBenchResult{Seed: seed}
+	for li, load := range cfg.LoadsPerM {
+		row, err := serveLoadPoint(seed+int64(li)*104729, load, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve load %g: %w", load, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func serveLoadPoint(seed int64, load float64, cfg ServeBenchConfig) (ServeBenchRow, error) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		return ServeBenchRow{}, err
+	}
+	keys := make(map[string][]byte, cfg.Tenants)
+	sealedFor := make(map[string][]byte, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		keyID := fmt.Sprintf("t%d-key", t)
+		key := ChaosKey(seed + int64(t))
+		if err := sys.ProvisionKey(keyID, key); err != nil {
+			return ServeBenchRow{}, err
+		}
+		keys[keyID] = key
+	}
+	sc, err := sys.NewScheduler(sched.Config{Cores: cfg.Cores, MaxBatch: cfg.MaxBatch})
+	if err != nil {
+		return ServeBenchRow{}, err
+	}
+	trace := ServeTrace(seed, load, cfg.Requests, cfg.Tenants)
+	for _, r := range trace {
+		if r.Secure {
+			// One sealed blob per (tenant, model): batch-mates share it,
+			// and sealing cost scales with the blob, not the request.
+			sealKey := r.KeyID + "/" + r.Model
+			if sealedFor[sealKey] == nil {
+				blob, err := SealModel(keys[r.KeyID], []byte("serve model "+sealKey))
+				if err != nil {
+					return ServeBenchRow{}, err
+				}
+				sealedFor[sealKey] = blob
+			}
+			r.Sealed = sealedFor[sealKey]
+		}
+		if err := sc.Submit(r); err != nil {
+			return ServeBenchRow{}, err
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		return ServeBenchRow{}, err
+	}
+	return summarizeServe(load, rep), nil
+}
+
+func summarizeServe(load float64, rep *sched.Report) ServeBenchRow {
+	row := ServeBenchRow{
+		LoadPerM:    load,
+		Requests:    len(rep.Results),
+		Completed:   rep.Completed,
+		Dropped:     rep.Dropped,
+		Aborted:     rep.Aborted,
+		Rejected:    rep.Rejected,
+		Makespan:    rep.Makespan,
+		Preemptions: rep.Preemptions,
+		BatchedRuns: rep.BatchedRuns,
+		FlushCycles: rep.FlushCycles,
+	}
+	var lats []sim.Cycle
+	perTenant := map[string]float64{}
+	for _, r := range rep.Results {
+		if !r.Completed {
+			continue
+		}
+		lats = append(lats, r.Latency())
+		perTenant[r.Tenant]++
+	}
+	if row.Makespan > 0 {
+		row.ThroughputPerM = float64(row.Completed) * 1e6 / float64(row.Makespan)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = lats[len(lats)/2]
+		row.P99 = lats[(len(lats)*99)/100]
+	}
+	row.Fairness = jain(perTenant)
+	return row
+}
+
+// jain is Jain's fairness index over the map's values.
+func jain(xs map[string]float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/npu"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/spad"
 	"repro/internal/tee"
@@ -534,6 +535,29 @@ const (
 	FlushPerLayer   = spad.FlushPerLayer
 	FlushPer5Layers = spad.FlushPer5Layers
 )
+
+// NewScheduler builds a multi-tenant secure task scheduler over this
+// system's NPU, monitor, and driver (§IV-B context switching under a
+// serving workload). The scheduler owns the listed cores for one
+// deterministic Run episode; see internal/sched for the model. An
+// attached observability layer (EnableObservability) is wired in
+// automatically.
+func (s *System) NewScheduler(cfg sched.Config) (*sched.Scheduler, error) {
+	sc, err := sched.New(sched.Deps{
+		NPU:     s.acc,
+		Monitor: s.mon,
+		Driver:  s.drv,
+		Cfg:     s.cfg.NPU,
+		Stats:   s.stats,
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.obs != nil {
+		sc.AttachObserver(s.obs)
+	}
+	return sc, nil
+}
 
 // TimeShare runs two built-in models time-shared on core 0 at the
 // given granularity. With flush=false it is sNPU's ID-isolated
