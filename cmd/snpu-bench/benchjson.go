@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	snpu "repro"
 	"repro/internal/experiments"
 )
 
@@ -53,6 +54,46 @@ type BenchSnapshot struct {
 	// the snapshot was taken with -metrics-overhead. CI gates it at
 	// metricsOverheadLimitPct.
 	MetricsOverheadPct float64 `json:"metrics_overhead_pct,omitempty"`
+	// Resilience summarizes the resilience sweep when the run included
+	// it (simulated-cycle quantities, so they are seed-deterministic
+	// rather than wall-time noise; older snapshots simply omit it).
+	Resilience *ResilienceSummary `json:"resilience,omitempty"`
+}
+
+// ResilienceSummary condenses the resilience sweep into the snapshot:
+// worst-cell goodput and p99 plus sweep-total recovery accounting.
+type ResilienceSummary struct {
+	Seed           int64   `json:"seed"`
+	Cells          int     `json:"cells"`
+	MinGoodputPerM float64 `json:"min_goodput_per_mcyc"`
+	MaxP99Cycles   int64   `json:"max_p99_cycles"`
+	Retries        int     `json:"retries"`
+	Recovered      int     `json:"recovered"`
+	Shed           int     `json:"shed"`
+	Dropped        int     `json:"dropped"`
+	Aborted        int     `json:"aborted"`
+}
+
+// lastResilience is filled by the resilience experiment spec as it
+// runs; newSnapshot folds it into the written snapshot.
+var lastResilience *ResilienceSummary
+
+func recordResilienceSummary(res *snpu.ResilienceBenchResult) {
+	sum := &ResilienceSummary{Seed: res.Seed, Cells: len(res.Rows)}
+	for i, row := range res.Rows {
+		if i == 0 || row.GoodputPerM < sum.MinGoodputPerM {
+			sum.MinGoodputPerM = row.GoodputPerM
+		}
+		if int64(row.P99) > sum.MaxP99Cycles {
+			sum.MaxP99Cycles = int64(row.P99)
+		}
+		sum.Retries += row.Retries
+		sum.Recovered += row.Recovered
+		sum.Shed += row.Shed
+		sum.Dropped += row.Dropped
+		sum.Aborted += row.Aborted
+	}
+	lastResilience = sum
 }
 
 // measureExperiment runs one spec, capturing wall time, cell count,
@@ -90,6 +131,7 @@ func newSnapshot(jobs int, measured []BenchExperiment, seqTotalNS int64) BenchSn
 		NumCPU:      runtime.NumCPU(),
 		Jobs:        jobs,
 		Experiments: measured,
+		Resilience:  lastResilience,
 	}
 	for _, m := range measured {
 		snap.TotalWallNS += m.WallNS

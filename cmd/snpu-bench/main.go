@@ -44,6 +44,8 @@ type options struct {
 	models   []workload.Workload
 	markdown bool
 	seed     int64
+	// small shrinks the randomized sweeps for CI smoke jobs.
+	small bool
 	// metricsDir, when set, exports per-experiment metrics files
 	// (<exp>.prom + <exp>.json) aggregated over the experiment's SoCs.
 	metricsDir string
@@ -161,6 +163,21 @@ func suiteSpecs() []expSpec {
 			title := fmt.Sprintf("Serve — multi-tenant scheduler load sweep (seed %d; beyond-paper)", res.Seed)
 			return []section{{title, res.TableString()}}, nil
 		}},
+		{"resilience", func(o options) ([]section, error) {
+			rcfg := snpu.ResilienceBenchConfig{}
+			if o.small {
+				// CI smoke shape: one load, both fault rates, few requests.
+				rcfg.Requests = 12
+				rcfg.LoadsPerM = []float64{0.4}
+			}
+			res, err := snpu.ResilienceBench(o.seed, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			recordResilienceSummary(res)
+			title := fmt.Sprintf("Resilience — fault-rate x load sweep with retry/shed policy (seed %d; beyond-paper)", res.Seed)
+			return []section{{title, res.TableString()}}, nil
+		}},
 		{"chaos", func(o options) ([]section, error) {
 			model := "yololite"
 			if len(o.models) > 0 {
@@ -222,11 +239,12 @@ func runSuite(w io.Writer, opts options) ([]BenchExperiment, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, serve, chaos)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, table1, fig13, fig14, fig15, fig16, fig17, fig18, tcb, ablations, serve, resilience, chaos)")
 	modelsFlag := flag.String("models", "", "comma-separated model subset (default: all six)")
 	markdown := flag.Bool("markdown", false, "emit fenced code blocks with headings")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
-	seed := flag.Int64("seed", 1, "seed for randomized experiments (serve, chaos); same seed = identical output")
+	seed := flag.Int64("seed", 1, "seed for randomized experiments (serve, resilience, chaos); same seed = identical output")
+	small := flag.Bool("small", false, "shrink randomized sweeps (resilience) for CI smoke jobs")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiment-cell worker pool width; output is identical for any value")
 	benchJSON := flag.String("bench-json", "", "write a perf snapshot (wall-time per experiment, cells/sec, allocs) to this file")
 	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: also run sequentially first and record the -j speedup")
@@ -249,7 +267,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := options{exp: *exp, models: models, markdown: *markdown, seed: *seed}
+	opts := options{exp: *exp, models: models, markdown: *markdown, seed: *seed, small: *small}
 
 	var seqTotal int64
 	if *benchCompare && *benchJSON != "" {

@@ -68,6 +68,22 @@ func TestDifferentialChaosSeeded(t *testing.T) {
 	}
 }
 
+// TestDifferentialResilienceSweep re-checks the contract on the
+// resilience experiment alone with a different fixed seed: four cells,
+// each with an armed transient-fault plan, retries, and shedding, must
+// render byte-identically at any pool width.
+func TestDifferentialResilienceSweep(t *testing.T) {
+	opts := options{exp: "resilience", seed: 5, small: testing.Short()}
+	seq := renderSuite(t, opts, 1)
+	par := renderSuite(t, opts, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("resilience(seed=5) differs between -j 1 and -j 4:\n%s", firstDiff(seq, par))
+	}
+	if !bytes.Contains(seq, []byte("seed 5")) {
+		t.Fatal("resilience output does not mention its seed")
+	}
+}
+
 // TestBenchSnapshotRoundTrip covers the -bench-json emitter: a
 // snapshot survives write/read and the regression comparator flags
 // only genuine >2x slowdowns.

@@ -10,20 +10,31 @@
 //	  -d '{"tenant":"a","model":"resnet"}'
 //	curl -s -XPOST localhost:8080/v1/run | jq .completed
 //	curl -s localhost:8080/metrics | head
+//
+// SIGTERM/SIGINT trigger a graceful drain: admission seals (submits
+// get 503 + Retry-After, /readyz flips to 503), one final scheduling
+// episode finishes in-flight work, then the listener shuts down and
+// the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	snpu "repro"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -32,6 +43,12 @@ func main() {
 	workers := flag.Int("j", 0, "compile worker pool width (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", 0, "secure same-model batch width (0 = default)")
 	baseline := flag.Bool("baseline", false, "boot the unprotected baseline (non-secure only)")
+	maxRestarts := flag.Int("max-restarts", 3, "fault-abort retry budget per secure request (0 = disabled)")
+	retryBackoff := flag.Int64("retry-backoff", 0, "base retry backoff in simulated cycles (0 = default)")
+	tenantQueue := flag.Int("tenant-queue", 8, "per-tenant queue bound; overflow sheds lowest priority (0 = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive aborts before tenant quarantine (0 = disabled)")
+	breakerCooldown := flag.Int("breaker-cooldown", 2, "quarantine length in scheduling episodes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wall time for graceful shutdown")
 	flag.Parse()
 
 	coreList, err := parseCores(*cores)
@@ -49,13 +66,51 @@ func main() {
 	}
 	sys.EnableObservability(obs.Config{})
 	srv, err := serve.New(sys, serve.Config{
-		Cores: coreList, Workers: *workers, MaxBatch: *maxBatch,
+		Cores:             coreList,
+		Workers:           *workers,
+		MaxBatch:          *maxBatch,
+		MaxRestarts:       *maxRestarts,
+		RetryBackoff:      sim.Cycle(*retryBackoff),
+		MaxQueuePerTenant: *tenantQueue,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	log.Printf("snpu-serve listening on %s (protected=%v)", *addr, !*baseline)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("snpu-serve: %v: draining (admission sealed)", sig)
+	}
+
+	// Seal admission first so /readyz flips immediately, then finish
+	// whatever is in flight before tearing the listener down.
+	srv.Drain()
+	if rep, err := srv.DrainAndFinish(); err != nil {
+		log.Printf("snpu-serve: final episode failed: %v", err)
+	} else if rep != nil {
+		log.Printf("snpu-serve: drained final episode: completed=%d dropped=%d aborted=%d shed=%d",
+			rep.Completed, rep.Dropped, rep.Aborted, rep.Shed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("snpu-serve: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("snpu-serve: drained, exiting")
 }
 
 func parseCores(s string) ([]int, error) {

@@ -168,6 +168,83 @@ func TestResilientRunAbandonsUnderHangStorm(t *testing.T) {
 	}
 }
 
+// bootResilient boots a protected system with one sealed yololite
+// handle, leaving plan installation to the caller.
+func bootResilientSys(t *testing.T) (*System, *SecureTaskHandle) {
+	t.Helper()
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ChaosKey(3)
+	if err := sys.ProvisionKey("owner", key); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := SealModel(key, []byte("weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitSecure("yololite", "owner", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, h
+}
+
+// The crash-loop budget is exact: with every attempt wedged before any
+// checkpoint progress, a budget of N abandons after exactly N restarts
+// — not N-1, not N+1 — and the unrecovered-fault counter ticks once.
+func TestResilientRunAbortsExactlyAtBudget(t *testing.T) {
+	for _, budget := range []int{1, 2, 3} {
+		sys, h := bootResilientSys(t)
+		var events []fault.Event
+		for i := 0; i < 4*(budget+1); i++ {
+			events = append(events, fault.Event{At: 0, Kind: fault.CoreHang})
+		}
+		sys.InstallFaultPlan(fault.Plan{Events: events})
+		rep, err := sys.RunSecureResilient(h, budget)
+		if !errors.Is(err, ErrTaskAborted) {
+			t.Fatalf("budget %d: err = %v, want ErrTaskAborted", budget, err)
+		}
+		if rep.Restarts != budget {
+			t.Fatalf("budget %d: restarts = %d, want exactly the budget", budget, rep.Restarts)
+		}
+		if got := sys.Stats().Get(sim.CtrTaskRestarts); got != int64(budget) {
+			t.Fatalf("budget %d: restart counter = %d", budget, got)
+		}
+		if got := sys.Stats().Get(sim.CtrUnrecoveredFaults); got != 1 {
+			t.Fatalf("budget %d: unrecovered counter = %d, want 1", budget, got)
+		}
+	}
+}
+
+// A fault on the very first tile — before the first layer boundary,
+// so no checkpoint exists — restarts from scratch and still completes
+// once the fault clears, with the restart visible in the report and
+// the recovered-fault counter.
+func TestResilientRunFaultBeforeFirstCheckpoint(t *testing.T) {
+	sys, h := bootResilientSys(t)
+	sys.InstallFaultPlan(fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.CoreHang},
+	}})
+	rep, err := sys.RunSecureResilient(h, DefaultMaxRestarts)
+	if err != nil {
+		t.Fatalf("pre-checkpoint fault not survivable: %v", err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.Cycles <= goldenYololiteCycles {
+		t.Fatalf("restart-from-scratch was free: %d cycles", rep.Cycles)
+	}
+	if got := sys.Stats().Get(sim.CtrTaskRestarts); got != 1 {
+		t.Fatalf("restart counter = %d, want 1", got)
+	}
+	if got := sys.Stats().Get(sim.CtrRecoveredFaults); got != 1 {
+		t.Fatalf("recovered counter = %d, want 1", got)
+	}
+}
+
 func TestChaosDeterministicPerSeed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos sweep is a multi-inference run")

@@ -95,6 +95,15 @@ func runCells[R any](n int, fn func(i int) (R, error)) ([]R, error) {
 	return results, nil
 }
 
+// MapIndexed exposes the bounded worker pool to sibling packages whose
+// sweeps decompose into independent index-addressed cells (one private
+// SoC per cell, results in index order). The root package's resilience
+// sweep fans its fault-rate × load grid through it so -j applies there
+// too, under the same any-width determinism contract.
+func MapIndexed[R any](n int, fn func(i int) (R, error)) ([]R, error) {
+	return runCells[R](n, fn)
+}
+
 // mapCells is runCells over a typed input slice.
 func mapCells[T, R any](items []T, fn func(item T) (R, error)) ([]R, error) {
 	return runCells[R](len(items), func(i int) (R, error) {

@@ -103,6 +103,17 @@ func UniformRates(perMillion float64) Rates {
 	}
 }
 
+// TransientRates is UniformRates without permanent link failure: the
+// resilience sweep's retry policy measures recovery from transient
+// faults (hangs included — a wedged core clears on abort), and a
+// downed NoC link would otherwise fail every subsequent attempt no
+// matter the budget.
+func TransientRates(perMillion float64) Rates {
+	r := UniformRates(perMillion)
+	r.NoCLinkDown = 0
+	return r
+}
+
 func (r Rates) rate(k Kind) float64 {
 	switch k {
 	case DRAMBitFlip:

@@ -2,6 +2,7 @@ package sched_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -122,11 +123,22 @@ func runPropertySchedule(t *testing.T, seed int64) {
 	plantLine := 3
 	probe := newIsolationProbe(t, sys, cores, plantLine, secret)
 
-	sc, err := sys.NewScheduler(sched.Config{
+	// Half the schedules run the resilience policy stack: fault
+	// retries with backoff and bounded per-tenant queues. The planted
+	// secret must stay unreadable across retry and shed transitions
+	// exactly as across preempts and aborts.
+	cfg := sched.Config{
 		Cores:      cores,
 		MaxBatch:   1 + rng.Intn(4),
 		OnDecision: probe.onDecision,
-	})
+	}
+	if rng.Intn(2) == 0 {
+		cfg.MaxRestarts = 1 + rng.Intn(2)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.MaxQueuePerTenant = 2 + rng.Intn(3)
+	}
+	sc, err := sys.NewScheduler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +165,7 @@ func runPropertySchedule(t *testing.T, seed int64) {
 		if rng.Float64() < 0.25 {
 			r.Deadline = r.Arrival + 1_000_000 + sim.Cycle(rng.Int63n(10_000_000))
 		}
-		if err := sc.Submit(r); err != nil {
+		if err := sc.Submit(r); err != nil && !errors.Is(err, sched.ErrQueueFull) {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +178,7 @@ func runPropertySchedule(t *testing.T, seed int64) {
 	// Scheduler sanity: one terminal state per request, coherent spans.
 	for _, r := range rep.Results {
 		states := 0
-		for _, b := range []bool{r.Completed, r.Dropped, r.Aborted, r.Rejected} {
+		for _, b := range []bool{r.Completed, r.Dropped, r.Aborted, r.Rejected, r.Shed} {
 			if b {
 				states++
 			}
@@ -249,7 +261,12 @@ func (p *isolationProbe) onDecision(d sched.Decision) {
 		if d.Core >= 0 {
 			p.plant(d)
 		}
-	case "preempt", "abort":
+	case "preempt", "abort", "retry":
+		// A retry decision fires after the fail-closed teardown, so it
+		// is held to the identical no-leftover standard. (A
+		// deadline_miss is not probed here: the batch's monitor task
+		// legitimately stays resident for the remaining batch-mates and
+		// is scrubbed at the job's unload.)
 		if d.Core >= 0 {
 			p.probeCore(d.Core, fmt.Sprintf("%s of req %d @%d", d.Event, d.Req, d.Cycle))
 		}
@@ -301,6 +318,44 @@ func (p *isolationProbe) probeCore(coreID int, when string) {
 func (p *isolationProbe) probeAll(when string) {
 	for _, ci := range p.cores {
 		p.probeCore(ci, when)
+	}
+}
+
+// Regression corpus: the minimized schedule that exposed the PR-4
+// admit-early bug, where an idle core started a request before its
+// arrival cycle. Two idle cores, one immediate request, one arriving
+// far in the future — nothing may dispatch (or be admitted) before
+// its own arrival, and the property holds for every decision class.
+// The serve fuzz corpus seeds the same shape through the HTTP layer.
+func TestRegressionAdmitEarlySchedule(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0, 1}})
+	reqs := []sched.Request{
+		{ID: 1, Tenant: "a", Model: "mobilenet", Arrival: 0},
+		{ID: 2, Tenant: "b", Model: "mobilenet", Arrival: 30_000_000},
+	}
+	for _, r := range reqs {
+		if err := sc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Completed && r.Start < r.Arrival {
+			t.Fatalf("req %d started at %d before its arrival %d\n%s",
+				r.ID, r.Start, r.Arrival, rep.DecisionLog())
+		}
+	}
+	for _, d := range rep.Decisions {
+		if d.Req == 2 && d.Cycle < 30_000_000 {
+			t.Fatalf("decision %q for req 2 at cycle %d, before its arrival\n%s",
+				d.Event, d.Cycle, rep.DecisionLog())
+		}
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("completed=%d, want 2\n%s", rep.Completed, rep.DecisionLog())
 	}
 }
 

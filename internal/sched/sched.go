@@ -82,8 +82,12 @@ type Request struct {
 	Priority Priority
 	// Arrival is the request's arrival cycle on the simulated clock.
 	Arrival sim.Cycle
-	// Deadline, when non-zero, is the latest start cycle; requests
-	// that cannot start by then are dropped, not run late.
+	// Deadline, when non-zero, is the latest finish cycle. Admission
+	// rejects a request that cannot possibly finish by then (its
+	// compute-cycle floor already overshoots), dispatch drops members
+	// whose floor no longer fits, and a run that crosses its deadline
+	// is cut deterministically at the next tile boundary — a secure cut
+	// still pays the §IV-B flush before the core is reused.
 	Deadline sim.Cycle
 	// KeyID and Sealed carry the secure payload: the tenant's
 	// provisioned sealing-key name and the sealed model blob.
@@ -107,11 +111,22 @@ type Result struct {
 	Preemptions int `json:"preemptions"`
 	// Batched marks a request that rode a batch-mate's FnSubmit.
 	Batched bool `json:"batched"`
-	// Completed / Dropped / Aborted / Rejected partition outcomes.
-	Completed bool   `json:"completed"`
-	Dropped   bool   `json:"dropped,omitempty"`
-	Aborted   bool   `json:"aborted,omitempty"`
-	Rejected  bool   `json:"rejected,omitempty"`
+	// Retries counts fault-retry resubmissions this request consumed.
+	Retries int `json:"retries,omitempty"`
+	// Completed / Dropped / Aborted / Rejected / Shed partition
+	// outcomes.
+	Completed bool `json:"completed"`
+	Dropped   bool `json:"dropped,omitempty"`
+	Aborted   bool `json:"aborted,omitempty"`
+	Rejected  bool `json:"rejected,omitempty"`
+	// Shed marks a victim of per-tenant admission backpressure: a
+	// full queue made room for a strictly higher-priority arrival.
+	Shed bool `json:"shed,omitempty"`
+	// Retryable marks an aborted result whose failure class (an
+	// execution fault, not an isolation violation) makes a client
+	// retry worthwhile. The error string itself stays equally opaque
+	// for both classes.
+	Retryable bool   `json:"retryable,omitempty"`
 	Err       string `json:"err,omitempty"`
 }
 
@@ -132,6 +147,24 @@ type Config struct {
 	// SubmitBaseCycles overrides the per-FnSubmit fixed cost
 	// (default DefaultSubmitBaseCycles).
 	SubmitBaseCycles sim.Cycle
+	// MaxRestarts enables fault retries for secure requests: a task
+	// aborted by an execution fault re-enters the queue (after an
+	// exponential backoff) up to MaxRestarts times per request,
+	// restarting from its last completed layer checkpoint through a
+	// fresh FnSubmit. 0 disables retries — a fault aborts terminally,
+	// exactly the pre-policy behavior.
+	MaxRestarts int
+	// RetryBackoff is the base retry delay in cycles (default
+	// DefaultRetryBackoff); attempt n waits RetryBackoff << (n-1).
+	RetryBackoff sim.Cycle
+	// MaxQueuePerTenant bounds how many non-terminal requests one
+	// tenant may have queued in the episode (0 = unlimited). A full
+	// queue sheds its least-urgent member to make room for a strictly
+	// higher-priority arrival, else refuses with ErrQueueFull.
+	MaxQueuePerTenant int
+	// Breaker, when set, quarantines tenants whose tasks repeatedly
+	// abort; it persists across episodes (the serve daemon owns it).
+	Breaker *Breaker
 	// OnDecision, when set, observes every scheduling decision as it
 	// is made (the property tests hook probes here).
 	OnDecision func(Decision)
@@ -151,6 +184,10 @@ type Deps struct {
 type reqState struct {
 	req  Request
 	prog *npu.Program
+	// minExec is the compute-cycle floor (the program's peak-rate lower
+	// bound) used for deadline feasibility — it never overestimates, so
+	// feasibility rejection is sound.
+	minExec sim.Cycle
 
 	ex      *npu.Exec
 	started bool
@@ -163,11 +200,21 @@ type reqState struct {
 	preempts int
 	batched  bool
 
+	// attempts / checkpoint / retryAt drive the fault-retry ladder:
+	// attempts counts consumed restarts, checkpoint is the last
+	// completed layer boundary (restart skips to it and pays the
+	// restore flush), retryAt is when the backoff expires.
+	attempts   int
+	checkpoint int
+	retryAt    sim.Cycle
+
 	terminal  bool
 	completed bool
 	dropped   bool
 	aborted   bool
 	rejected  bool
+	shed      bool
+	retryable bool
 	errMsg    string
 }
 
@@ -220,16 +267,20 @@ type Scheduler struct {
 	// run-time state
 	future   []*reqState
 	waitlist []*reqState // admitted-pending: out of secure/reserved memory
+	retryQ   []*reqState // fault-aborted, waiting out a retry backoff
 	ready    []*job
 	cores    []*coreState
 	openJobs []*job // batch-joinable secure jobs
 	memFreed bool
+
+	tenantQueued map[string]int // non-terminal submissions per tenant
 
 	decisions   []Decision
 	flushCycles sim.Cycle
 
 	obsDispatch, obsPreempt, obsComplete *obs.Counter
 	obsReject, obsAbort, obsBatch        *obs.Counter
+	obsRetry, obsDeadlineMiss            *obs.Counter
 	obsLatency                           *obs.Histogram
 }
 
@@ -260,7 +311,14 @@ func New(deps Deps, cfg Config) (*Scheduler, error) {
 	if cfg.SubmitBaseCycles <= 0 {
 		cfg.SubmitBaseCycles = DefaultSubmitBaseCycles
 	}
-	return &Scheduler{deps: deps, cfg: cfg, byID: make(map[int]*reqState)}, nil
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	return &Scheduler{
+		deps: deps, cfg: cfg,
+		byID:         make(map[int]*reqState),
+		tenantQueued: make(map[string]int),
+	}, nil
 }
 
 // AttachObserver wires scheduler counters and the request-latency
@@ -269,6 +327,7 @@ func (s *Scheduler) AttachObserver(o *obs.Observer) {
 	if o == nil {
 		s.obsDispatch, s.obsPreempt, s.obsComplete = nil, nil, nil
 		s.obsReject, s.obsAbort, s.obsBatch, s.obsLatency = nil, nil, nil, nil
+		s.obsRetry, s.obsDeadlineMiss = nil, nil
 		return
 	}
 	scope := o.Registry().Scope("sched")
@@ -278,6 +337,8 @@ func (s *Scheduler) AttachObserver(o *obs.Observer) {
 	s.obsReject = scope.Counter("reject.count")
 	s.obsAbort = scope.Counter("abort.count")
 	s.obsBatch = scope.Counter("batch.count")
+	s.obsRetry = scope.Counter("retry")
+	s.obsDeadlineMiss = scope.Counter("deadline_miss")
 	s.obsLatency = scope.Histogram("latency.cycles", obs.DefaultCycleBuckets())
 }
 
@@ -304,6 +365,12 @@ func (s *Scheduler) Submit(r Request) error {
 	if r.Tenant == "" {
 		return fmt.Errorf("%w: empty tenant", ErrBadRequest)
 	}
+	if r.Deadline > 0 && r.Deadline <= r.Arrival {
+		return fmt.Errorf("%w: deadline %d not after arrival %d", ErrBadRequest, r.Deadline, r.Arrival)
+	}
+	if !s.cfg.Breaker.Allow(r.Tenant) {
+		return fmt.Errorf("%w: %s", ErrTenantQuarantined, r.Tenant)
+	}
 	if _, err := workload.ByNameExtended(r.Model); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -318,11 +385,46 @@ func (s *Scheduler) Submit(r Request) error {
 			return fmt.Errorf("%w: sealed model without a key id", ErrBadRequest)
 		}
 	}
+	if s.cfg.MaxQueuePerTenant > 0 && s.tenantQueued[r.Tenant] >= s.cfg.MaxQueuePerTenant {
+		victim := s.shedVictim(r.Tenant)
+		if victim == nil || victim.req.Priority >= r.Priority {
+			return fmt.Errorf("%w: %s at %d", ErrQueueFull, r.Tenant, s.cfg.MaxQueuePerTenant)
+		}
+		s.shed(victim, r.Arrival, r.ID)
+	}
 	r.Sealed = append([]byte(nil), r.Sealed...)
 	rs := &reqState{req: r, core: -1}
 	s.all = append(s.all, rs)
 	s.byID[r.ID] = rs
+	s.tenantQueued[r.Tenant]++
 	return nil
+}
+
+// shedVictim picks the tenant's least-urgent queued request: lowest
+// priority, then latest arrival, then highest id — the exact reverse of
+// the dispatch order, so shedding always sacrifices what would have run
+// last.
+func (s *Scheduler) shedVictim(tenant string) *reqState {
+	var victim *reqState
+	for _, rs := range s.all {
+		if rs.terminal || rs.req.Tenant != tenant {
+			continue
+		}
+		if victim == nil || reqLess(victim, rs) {
+			victim = rs
+		}
+	}
+	return victim
+}
+
+// shed retires a queue-bound victim: deterministic load shedding, not a
+// failure of the request itself — the serve layer maps it to 429 with a
+// Retry-After hint.
+func (s *Scheduler) shed(rs *reqState, at sim.Cycle, forID int) {
+	rs.terminal, rs.shed = true, true
+	rs.errMsg = "sched: shed by tenant queue bound"
+	s.tenantQueued[rs.req.Tenant]--
+	s.decide(at, -1, "shed", rs, fmt.Sprintf("for req %d", forID))
 }
 
 // Pending reports queued, not-yet-run requests.
@@ -341,11 +443,14 @@ type Report struct {
 	// Makespan is the last retire cycle.
 	Makespan sim.Cycle
 	// FlushCycles is the total context-switch save/restore cost paid.
-	FlushCycles                           sim.Cycle
-	Completed, Rejected, Dropped, Aborted int
-	Preemptions                           int
+	FlushCycles                                 sim.Cycle
+	Completed, Rejected, Dropped, Aborted, Shed int
+	Preemptions                                 int
 	// BatchedRuns counts requests that shared a batch-mate's FnSubmit.
 	BatchedRuns int
+	// Retries is total fault-retry resubmissions; Recovered counts
+	// requests that completed after at least one retry.
+	Retries, Recovered int
 }
 
 // DecisionLog renders the decision stream, one line per decision.
@@ -421,8 +526,8 @@ func (s *Scheduler) Run() (*Report, error) {
 			}
 		}
 		if c == nil {
-			if len(s.future) > 0 {
-				clock = s.future[0].req.Arrival
+			if t, ok := s.nextPending(); ok {
+				clock = t
 				continue
 			}
 			if s.outstanding() == 0 {
@@ -433,8 +538,8 @@ func (s *Scheduler) Run() (*Report, error) {
 			s.rejectStranded(clock)
 			break
 		}
-		if len(s.future) > 0 && s.future[0].req.Arrival < c.freeAt {
-			clock = s.future[0].req.Arrival
+		if t, ok := s.nextPending(); ok && t < c.freeAt {
+			clock = t
 			continue
 		}
 		if c.freeAt > clock {
@@ -445,9 +550,23 @@ func (s *Scheduler) Run() (*Report, error) {
 	return s.assemble(), nil
 }
 
+// nextPending is the earliest future event the scheduler must wake
+// for: the next arrival or the next retry-backoff expiry.
+func (s *Scheduler) nextPending() (sim.Cycle, bool) {
+	var t sim.Cycle
+	ok := false
+	if len(s.future) > 0 {
+		t, ok = s.future[0].req.Arrival, true
+	}
+	if len(s.retryQ) > 0 && (!ok || s.retryQ[0].retryAt < t) {
+		t, ok = s.retryQ[0].retryAt, true
+	}
+	return t, ok
+}
+
 // outstanding counts non-terminal requests still queued somewhere.
 func (s *Scheduler) outstanding() int {
-	n := len(s.waitlist)
+	n := len(s.waitlist) + len(s.retryQ)
 	for _, j := range s.ready {
 		n += len(j.members) - j.idx
 	}
@@ -476,6 +595,9 @@ func (s *Scheduler) prepare() {
 		w = n
 	}
 	compile := func(rs *reqState) {
+		if rs.terminal { // shed at submit time: nothing to compile
+			return
+		}
 		wl, err := workload.ByNameExtended(rs.req.Model)
 		if err != nil {
 			rs.errMsg = err.Error()
@@ -491,6 +613,7 @@ func (s *Scheduler) prepare() {
 			return
 		}
 		rs.prog = prog
+		rs.minExec = sim.Cycle(prog.IdealComputeCycles)
 	}
 	if w <= 1 {
 		for _, rs := range s.all {
@@ -518,27 +641,49 @@ func (s *Scheduler) prepare() {
 	ordered := append([]*reqState(nil), s.all...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].req.ID < ordered[j].req.ID })
 	for _, rs := range ordered {
-		if rs.prog == nil {
+		if rs.prog == nil && !rs.terminal {
 			s.reject(rs, rs.req.Arrival, rs.errMsg)
 		}
 	}
 }
 
-// admitUpTo moves arrivals due by `t` from future into the scheduler:
-// secure requests go through monitor admission (verify + secure-memory
-// allocation) or join an open batch; non-secure requests take their
-// DMA chunk from reserved memory. Out-of-memory admissions waitlist.
+// admitUpTo moves arrivals and expired retry backoffs due by `t` into
+// the scheduler in event order: secure requests go through monitor
+// admission (verify + secure-memory allocation) or join an open batch;
+// non-secure requests take their DMA chunk from reserved memory.
+// Out-of-memory admissions waitlist. Arrivals win retry ties so a
+// retried task never jumps ahead of fresh work due the same cycle.
 func (s *Scheduler) admitUpTo(t sim.Cycle) {
-	for len(s.future) > 0 && s.future[0].req.Arrival <= t {
-		rs := s.future[0]
-		s.future = s.future[1:]
-		s.admit(rs, rs.req.Arrival)
+	for {
+		hasF := len(s.future) > 0 && s.future[0].req.Arrival <= t
+		hasR := len(s.retryQ) > 0 && s.retryQ[0].retryAt <= t
+		switch {
+		case hasF && (!hasR || s.future[0].req.Arrival <= s.retryQ[0].retryAt):
+			rs := s.future[0]
+			s.future = s.future[1:]
+			s.admit(rs, rs.req.Arrival)
+		case hasR:
+			rs := s.retryQ[0]
+			s.retryQ = s.retryQ[1:]
+			s.admit(rs, rs.retryAt)
+		default:
+			return
+		}
 	}
 }
 
 func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
+	// Reject-on-admit: a deadline the compute floor already overshoots
+	// can never be met — refuse it instead of burning cycles. Retried
+	// members were re-checked when their backoff was scheduled.
+	if rs.attempts == 0 && rs.req.Deadline > 0 && at+rs.minExec > rs.req.Deadline {
+		s.reject(rs, at, "deadline infeasible")
+		return
+	}
 	if rs.req.Secure {
-		if j := s.joinableBatch(rs); j != nil {
+		// A retried task resubmits through the full verification path:
+		// no riding an open batch's earlier FnSubmit.
+		if j := s.joinableBatch(rs); j != nil && rs.attempts == 0 {
 			rs.batched = true
 			j.members = append(j.members, rs)
 			if rs.req.Priority > j.prio {
@@ -721,10 +866,10 @@ func (s *Scheduler) dispatchOn(c *coreState, clock sim.Cycle) {
 		if j == nil {
 			return
 		}
-		// Drop members whose start deadline has passed.
+		// Drop members that can no longer meet their finish deadline.
 		for !j.done() {
 			m := j.cur()
-			if m.req.Deadline > 0 && start > m.req.Deadline {
+			if s.deadlineExpired(m, start) {
 				s.drop(m, start, c.id)
 				j.idx++
 				continue
@@ -738,6 +883,21 @@ func (s *Scheduler) dispatchOn(c *coreState, clock sim.Cycle) {
 		s.startJob(c, j, start, fromResume)
 		return
 	}
+}
+
+// deadlineExpired reports whether member m can no longer meet its
+// finish deadline when (re)started at `at`: a never-run member needs
+// at least its compute floor; an in-flight or retried member is cut
+// once the clock itself passes the deadline (the mid-run miss check in
+// advance handles the rest).
+func (s *Scheduler) deadlineExpired(m *reqState, at sim.Cycle) bool {
+	if m.req.Deadline == 0 {
+		return false
+	}
+	if m.ex == nil && m.attempts == 0 {
+		return at+m.minExec > m.req.Deadline
+	}
+	return at > m.req.Deadline
 }
 
 // pickFor removes and returns the highest-priority job core c can
@@ -842,9 +1002,20 @@ func (s *Scheduler) advance(c *coreState) {
 	m := j.cur()
 	if m.ex == nil {
 		m.ex = npu.NewExec(c.core, m.prog, m.req.ID+10000)
-		m.started = true
-		m.start = c.freeAt
+		if !m.started {
+			m.started = true
+			m.start = c.freeAt
+		}
 		m.core = c.id
+		if m.checkpoint > 0 {
+			// Retried member: restart from the last completed layer
+			// boundary and pay the checkpoint-restore flush.
+			m.ex.SkipToLayer(m.checkpoint)
+			cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+				s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			c.freeAt += cost
+			s.flushCycles += cost
+		}
 	}
 	end, err := m.ex.RunUntil(c.freeAt, npu.BoundaryTile)
 	if err != nil {
@@ -852,11 +1023,22 @@ func (s *Scheduler) advance(c *coreState) {
 		if errors.As(err, &hang) {
 			c.freeAt = hang.Detected
 		}
-		s.abortJob(c, j, c.freeAt, err)
+		s.faultJob(c, j, c.freeAt, err)
 		return
 	}
 	c.freeAt = end
+	if cl := m.ex.CurrentLayer(); cl > m.checkpoint {
+		m.checkpoint = cl // forward progress: a cheaper restart point
+	}
 	s.admitUpTo(end)
+
+	if m.req.Deadline > 0 && end > m.req.Deadline {
+		// Deterministic deadline-miss cut at the tile boundary — the
+		// slice that crossed the deadline is the last one this member
+		// gets, whether or not it happened to finish.
+		s.missDeadline(c, j, end)
+		return
+	}
 
 	if m.ex.Done() {
 		m.finish = end
@@ -867,10 +1049,10 @@ func (s *Scheduler) advance(c *coreState) {
 		}
 		s.decide(end, c.id, "complete", m, fmt.Sprintf("latency=%d", end-m.req.Arrival))
 		j.idx++
-		// Drop any queued batch-mates whose start deadline has passed.
+		// Drop any queued batch-mates that can no longer finish in time.
 		for !j.done() {
 			next := j.cur()
-			if next.req.Deadline > 0 && end > next.req.Deadline {
+			if s.deadlineExpired(next, end) {
 				s.drop(next, end, c.id)
 				j.idx++
 				continue
@@ -974,10 +1156,10 @@ func (s *Scheduler) invalidateWindows(c *coreState) {
 	}
 }
 
-// abortJob is the fail-closed path: the monitor scrubs and destroys
-// the secure task; every unfinished member surfaces only the opaque
-// ErrTaskAborted.
-func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
+// teardownJob scrubs a failing job's residency: the monitor aborts and
+// zeroes the secure task fail-closed; non-secure members release their
+// DMA chunk and translation-window slot.
+func (s *Scheduler) teardownJob(c *coreState, j *job) {
 	if j.secure {
 		s.closeBatch(j)
 		task, err := s.deps.Monitor.Task(j.monID)
@@ -999,13 +1181,28 @@ func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
 		}
 		s.memFreed = true
 	}
+}
+
+// abortMember retires one member with the opaque sentinel. Retryable
+// records the failure class (fault vs isolation) for the serve layer's
+// status mapping; the error string is identical either way.
+func (s *Scheduler) abortMember(m *reqState, at sim.Cycle, core int, retryable bool) {
+	m.terminal, m.aborted = true, true
+	m.retryable = retryable
+	m.finish = at
+	m.errMsg = ErrTaskAborted.Error()
+	inc(s.obsAbort)
+	s.decide(at, core, "abort", m, "")
+}
+
+// abortJob is the fail-closed path for monitor-call failures: the
+// monitor scrubs and destroys the secure task; every unfinished member
+// surfaces only the opaque ErrTaskAborted, with no retry — a task the
+// monitor refused is not coming back.
+func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
+	s.teardownJob(c, j)
 	for i := j.idx; i < len(j.members); i++ {
-		m := j.members[i]
-		m.terminal, m.aborted = true, true
-		m.finish = at
-		m.errMsg = ErrTaskAborted.Error()
-		inc(s.obsAbort)
-		s.decide(at, c.id, "abort", m, "")
+		s.abortMember(j.members[i], at, c.id, false)
 	}
 	_ = cause // never surfaced: the abort is opaque to the untrusted side
 	if c.cur == j {
@@ -1013,10 +1210,89 @@ func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
 	}
 }
 
+// faultJob handles an execution fault (hang, unrecovered data error).
+// The fail-closed abort is paid exactly as abortJob — scratchpads
+// scrubbed, task destroyed — and then policy decides what the
+// untrusted side does next: secure members with restart budget left
+// re-enter the queue after an exponential backoff and restart from
+// their last completed layer checkpoint through a fresh FnSubmit;
+// everyone else is abandoned with the same opaque error, marked
+// Retryable so clients know a resubmission is worthwhile.
+func (s *Scheduler) faultJob(c *coreState, j *job, at sim.Cycle, cause error) {
+	s.teardownJob(c, j)
+	_ = cause // never surfaced — same opacity as abortJob
+	retry := j.secure && s.cfg.MaxRestarts > 0
+	for i := j.idx; i < len(j.members); i++ {
+		m := j.members[i]
+		m.ex = nil
+		if !retry || m.attempts >= s.cfg.MaxRestarts {
+			s.abortMember(m, at, c.id, j.secure)
+			continue
+		}
+		m.attempts++
+		retryAt := at + RetryBackoff(s.cfg.RetryBackoff, m.attempts)
+		if m.req.Deadline > 0 && retryAt >= m.req.Deadline {
+			// The backoff alone blows the deadline: retrying is futile.
+			s.abortMember(m, at, c.id, true)
+			continue
+		}
+		m.retryAt = retryAt
+		s.retryQ = append(s.retryQ, m)
+		inc(s.obsRetry)
+		s.decide(at, c.id, "retry", m,
+			fmt.Sprintf("attempt=%d backoff-until=%d checkpoint=%d", m.attempts, retryAt, m.checkpoint))
+	}
+	sort.SliceStable(s.retryQ, func(a, b int) bool {
+		x, y := s.retryQ[a], s.retryQ[b]
+		if x.retryAt != y.retryAt {
+			return x.retryAt < y.retryAt
+		}
+		return x.req.ID < y.req.ID
+	})
+	if c.cur == j {
+		c.cur = nil
+	}
+}
+
+// missDeadline cuts c's running member at the tile boundary that
+// crossed its finish deadline. The cut is a policy decision, but its
+// isolation consequence is not negotiable: a secure member's live
+// accumulator state is flushed (§IV-B) before the core is reused. The
+// job's remaining batch-mates keep the core.
+func (s *Scheduler) missDeadline(c *coreState, j *job, at sim.Cycle) {
+	m := j.cur()
+	if j.secure {
+		cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+			s.deps.Cfg.DRAMLatency, s.deps.Stats)
+		c.freeAt = at + cost
+		s.flushCycles += cost
+	}
+	m.terminal, m.dropped = true, true
+	m.finish = at
+	m.ex = nil
+	m.errMsg = "sched: deadline missed"
+	inc(s.obsDeadlineMiss)
+	s.decide(at, c.id, "deadline_miss", m, fmt.Sprintf("deadline=%d", m.req.Deadline))
+	j.idx++
+	for !j.done() {
+		next := j.cur()
+		if s.deadlineExpired(next, c.freeAt) {
+			s.drop(next, c.freeAt, c.id)
+			j.idx++
+			continue
+		}
+		break
+	}
+	if j.done() {
+		s.finishJob(c, j, c.freeAt, false)
+	}
+}
+
 func (s *Scheduler) drop(m *reqState, at sim.Cycle, core int) {
 	m.terminal, m.dropped = true, true
 	m.finish = at
 	m.errMsg = "sched: deadline missed"
+	inc(s.obsDeadlineMiss)
 	s.decide(at, core, "drop", m, fmt.Sprintf("deadline=%d", m.req.Deadline))
 }
 
@@ -1035,6 +1311,10 @@ func (s *Scheduler) rejectStranded(at sim.Cycle) {
 		s.reject(rs, at, "no capacity")
 	}
 	s.waitlist = nil
+	for _, rs := range s.retryQ {
+		s.reject(rs, at, "no capacity")
+	}
+	s.retryQ = nil
 	for _, j := range s.ready {
 		if j.secure {
 			s.closeBatch(j)
@@ -1059,7 +1339,7 @@ func (s *Scheduler) decide(at sim.Cycle, core int, ev string, rs *reqState, deta
 }
 
 func (s *Scheduler) assemble() *Report {
-	rep := &Report{Decisions: s.decisions, FlushCycles: s.flushCycles}
+	rep := &Report{FlushCycles: s.flushCycles}
 	ordered := append([]*reqState(nil), s.all...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].req.ID < ordered[j].req.ID })
 	for _, rs := range ordered {
@@ -1068,16 +1348,22 @@ func (s *Scheduler) assemble() *Report {
 			Secure: rs.req.Secure, Arrival: rs.req.Arrival,
 			Start: rs.start, Finish: rs.finish, Core: rs.core,
 			Preemptions: rs.preempts, Batched: rs.batched,
+			Retries: rs.attempts, Retryable: rs.retryable,
 			Completed: rs.completed, Dropped: rs.dropped,
-			Aborted: rs.aborted, Rejected: rs.rejected, Err: rs.errMsg,
+			Aborted: rs.aborted, Rejected: rs.rejected,
+			Shed: rs.shed, Err: rs.errMsg,
 		}
 		rep.Results = append(rep.Results, r)
 		rep.Preemptions += rs.preempts
+		rep.Retries += rs.attempts
 		switch {
 		case rs.completed:
 			rep.Completed++
 			if rs.batched {
 				rep.BatchedRuns++
+			}
+			if rs.attempts > 0 {
+				rep.Recovered++
 			}
 			if rs.finish > rep.Makespan {
 				rep.Makespan = rs.finish
@@ -1086,9 +1372,19 @@ func (s *Scheduler) assemble() *Report {
 			rep.Dropped++
 		case rs.aborted:
 			rep.Aborted++
+		case rs.shed:
+			rep.Shed++
 		case rs.rejected:
 			rep.Rejected++
 		}
+		// Feed the circuit breaker in result order — deterministic, and
+		// quarantine decisions land in this episode's log.
+		if s.cfg.Breaker.observe(rs.req.Tenant, rs.aborted, rs.completed) {
+			s.decide(rs.finish, -1, "quarantine", rs,
+				fmt.Sprintf("cooldown=%d episodes", s.cfg.Breaker.cooldown()))
+		}
 	}
+	s.cfg.Breaker.endEpisode()
+	rep.Decisions = s.decisions
 	return rep
 }

@@ -127,15 +127,21 @@ func TestSchedulerPreemptsForPriority(t *testing.T) {
 	}
 }
 
-// Deadline-expired requests are dropped at their first start
-// opportunity, never run late.
+// Deadlines are latest-finish cycles: a deadline no program could ever
+// meet is refused at admission (before any cycles burn), and a
+// feasible one the busy core can no longer honor is dropped at its
+// first dispatch opportunity — never run late.
 func TestSchedulerDropsMissedDeadlines(t *testing.T) {
 	_, sc := bootSched(t, sched.Config{Cores: []int{0}})
 	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Model: "resnet", Arrival: 0}); err != nil {
 		t.Fatal(err)
 	}
-	// Deadline 1: core 0 is busy with resnet well past cycle 1.
+	// One cycle after arrival: below any program's compute floor.
 	if err := sc.Submit(sched.Request{ID: 2, Tenant: "b", Model: "mobilenet", Arrival: 0, Deadline: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Feasible on an idle core, hopeless behind resnet (~57M cycles).
+	if err := sc.Submit(sched.Request{ID: 3, Tenant: "b", Model: "mobilenet", Arrival: 0, Deadline: 10_000_000}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := sc.Run()
@@ -143,11 +149,15 @@ func TestSchedulerDropsMissedDeadlines(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2 := rep.ResultByID(2)
-	if !r2.Dropped || r2.Completed {
-		t.Fatalf("req 2 = %+v, want dropped\n%s", r2, rep.DecisionLog())
+	if !r2.Rejected || r2.Err != "deadline infeasible" {
+		t.Fatalf("req 2 = %+v, want rejected as infeasible\n%s", r2, rep.DecisionLog())
 	}
-	if rep.Completed != 1 || rep.Dropped != 1 {
-		t.Fatalf("completed=%d dropped=%d", rep.Completed, rep.Dropped)
+	r3 := rep.ResultByID(3)
+	if !r3.Dropped || r3.Completed {
+		t.Fatalf("req 3 = %+v, want dropped\n%s", r3, rep.DecisionLog())
+	}
+	if rep.Completed != 1 || rep.Dropped != 1 || rep.Rejected != 1 {
+		t.Fatalf("completed=%d dropped=%d rejected=%d", rep.Completed, rep.Dropped, rep.Rejected)
 	}
 }
 

@@ -35,13 +35,33 @@ func FuzzServeRequest(f *testing.F) {
 	f.Add(uint8(1), `{"key_id":"","key_b64":"!"}`)
 	f.Add(uint8(2), ``)
 	f.Add(uint8(3), `{"evil":"body on a GET route"}`)
+	// Deadline edges: equal-to-arrival and before-arrival must be 400,
+	// the wraparound value must not panic the cycle conversion.
+	f.Add(uint8(0), `{"tenant":"a","model":"resnet","arrival":500,"deadline":500}`)
+	f.Add(uint8(0), `{"tenant":"a","model":"resnet","arrival":500,"deadline":1}`)
+	f.Add(uint8(0), `{"tenant":"a","model":"resnet","deadline":18446744073709551615}`)
+	// Admit-early regression shape (PR-4 minimized schedule): a far
+	// arrival behind a zero-arrival request on explicit IDs.
+	f.Add(uint8(0), `{"id":1,"tenant":"a","model":"resnet"}`)
+	f.Add(uint8(0), `{"id":2,"tenant":"b","model":"mobilenet","arrival":30000000}`)
+	// Result/health probes, including hostile query strings.
+	f.Add(uint8(6), ``)
+	f.Add(uint8(7), ``)
+	f.Add(uint8(8), ``)
+	f.Add(uint8(9), ``)
+	f.Add(uint8(10), ``)
 
-	paths := []string{"/v1/submit", "/v1/keys", "/v1/run", "/v1/status", "/metrics", "/nope"}
+	paths := []string{
+		"/v1/submit", "/v1/keys", "/v1/run", "/v1/status", "/metrics", "/nope",
+		"/v1/result?id=1", "/v1/result?id=-9999999999999999999", "/v1/result?id=zip%00",
+		"/healthz", "/readyz",
+	}
 
 	f.Fuzz(func(t *testing.T, which uint8, body string) {
 		path := paths[int(which)%len(paths)]
 		method := "POST"
-		if path == "/v1/status" || path == "/metrics" {
+		if strings.HasPrefix(path, "/v1/result") || path == "/v1/status" ||
+			path == "/metrics" || path == "/healthz" || path == "/readyz" {
 			method = "GET"
 		}
 		req := httptest.NewRequest(method, path, strings.NewReader(body))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 
 	snpu "repro"
@@ -28,12 +29,27 @@ import (
 // base64 expansion plus JSON framing headroom.
 const MaxBodyBytes = sched.MaxSealedBytes*4/3 + 64*1024
 
+// RetryAfterSeconds is the deterministic Retry-After hint sent with
+// every 429/503 backpressure response. It is advisory pacing for
+// clients, not simulated time, so one constant fits all.
+const RetryAfterSeconds = 1
+
 // Config tunes the daemon's scheduler episodes.
 type Config struct {
 	// Cores, Workers, MaxBatch pass through to sched.Config.
 	Cores    []int
 	Workers  int
 	MaxBatch int
+	// MaxRestarts, RetryBackoff, MaxQueuePerTenant pass the resilience
+	// policy through to sched.Config (zero = disabled/defaults).
+	MaxRestarts       int
+	RetryBackoff      sim.Cycle
+	MaxQueuePerTenant int
+	// BreakerThreshold enables the per-tenant circuit breaker (>0):
+	// a tenant whose tasks abort Threshold times in a row sits out
+	// BreakerCooldown episodes; its submissions get 503 + Retry-After.
+	BreakerThreshold int
+	BreakerCooldown  int
 }
 
 // Server accumulates submissions and runs them as scheduler episodes.
@@ -41,24 +57,49 @@ type Config struct {
 // SoC is single-clocked, so concurrent HTTP clients see atomic
 // submit/run semantics.
 type Server struct {
-	mu     sync.Mutex
-	sys    *snpu.System
-	cfg    Config
-	sched  *sched.Scheduler
-	nextID int
+	mu      sync.Mutex
+	sys     *snpu.System
+	cfg     Config
+	sched   *sched.Scheduler
+	breaker *sched.Breaker
+	nextID  int
+
+	// draining seals admission: submits and key provisioning refuse
+	// with 503 + Retry-After while in-flight work finishes.
+	draining bool
+
+	// results persists every terminal outcome across episodes so
+	// GET /v1/result can map it to a status after the episode ran;
+	// pending tracks accepted-but-not-yet-run ids.
+	results map[int]sched.Result
+	pending map[int]bool
 
 	episodes  int
 	completed int
 	rejected  int
 	dropped   int
 	aborted   int
+	shed      int
+	recovered int
 	last      *sched.Report
+
+	obsShed *obs.Counter
 }
 
 // New wraps a booted System. The system's observability layer (if
-// enabled) feeds GET /metrics.
+// enabled) feeds GET /metrics and the serve.shed counter.
 func New(sys *snpu.System, cfg Config) (*Server, error) {
-	s := &Server{sys: sys, cfg: cfg, nextID: 1}
+	s := &Server{
+		sys: sys, cfg: cfg, nextID: 1,
+		results: make(map[int]sched.Result),
+		pending: make(map[int]bool),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = sched.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if o := sys.Observer(); o != nil {
+		s.obsShed = o.Registry().Scope("serve").Counter("shed")
+	}
 	if err := s.resetScheduler(); err != nil {
 		return nil, err
 	}
@@ -67,9 +108,13 @@ func New(sys *snpu.System, cfg Config) (*Server, error) {
 
 func (s *Server) resetScheduler() error {
 	sc, err := s.sys.NewScheduler(sched.Config{
-		Cores:    s.cfg.Cores,
-		Workers:  s.cfg.Workers,
-		MaxBatch: s.cfg.MaxBatch,
+		Cores:             s.cfg.Cores,
+		Workers:           s.cfg.Workers,
+		MaxBatch:          s.cfg.MaxBatch,
+		MaxRestarts:       s.cfg.MaxRestarts,
+		RetryBackoff:      s.cfg.RetryBackoff,
+		MaxQueuePerTenant: s.cfg.MaxQueuePerTenant,
+		Breaker:           s.breaker,
 	})
 	if err != nil {
 		return err
@@ -84,7 +129,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/keys", s.handleKeys)
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/result", s.handleResult)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return http.MaxBytesHandler(mux, MaxBodyBytes)
 }
@@ -123,6 +171,9 @@ type RunReport struct {
 	Rejected    int            `json:"rejected"`
 	Dropped     int            `json:"dropped"`
 	Aborted     int            `json:"aborted"`
+	Shed        int            `json:"shed"`
+	Retries     int            `json:"retries"`
+	Recovered   int            `json:"recovered"`
 	Preemptions int            `json:"preemptions"`
 	BatchedRuns int            `json:"batched_runs"`
 }
@@ -141,6 +192,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBackpressure is writeErr plus the deterministic Retry-After
+// hint: every refusal the client should retry (queue full, tenant
+// quarantine, drain) carries the same advisory pacing.
+func writeBackpressure(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+	writeErr(w, code, format, args...)
 }
 
 // decode parses a JSON body, failing closed on syntax errors, unknown
@@ -180,6 +239,10 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		writeBackpressure(w, http.StatusServiceUnavailable, "draining: admission sealed")
+		return
+	}
 	if s.sys.Monitor() == nil {
 		writeErr(w, http.StatusNotImplemented, "baseline system has no monitor")
 		return
@@ -213,8 +276,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "arrival/deadline out of range")
 		return
 	}
+	if req.Deadline > 0 && req.Deadline <= req.Arrival {
+		writeErr(w, http.StatusBadRequest, "deadline %d not after arrival %d", req.Deadline, req.Arrival)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		writeBackpressure(w, http.StatusServiceUnavailable, "draining: admission sealed")
+		return
+	}
 	id := req.ID
 	if id == 0 {
 		id = s.nextID
@@ -241,6 +312,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, sched.ErrNoMonitor):
 		writeErr(w, http.StatusNotImplemented, "%v", err)
 		return
+	case errors.Is(err, sched.ErrQueueFull):
+		// The tenant's queue bound is hit and the incoming request does
+		// not outrank anything queued: shed the newcomer.
+		s.shed++
+		if s.obsShed != nil {
+			s.obsShed.Inc()
+		}
+		writeBackpressure(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, sched.ErrTenantQuarantined):
+		writeBackpressure(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	default:
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -248,6 +331,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if id >= s.nextID {
 		s.nextID = id + 1
 	}
+	s.pending[id] = true
 	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
 }
 
@@ -276,6 +360,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.rejected += rep.Rejected
 	s.dropped += rep.Dropped
 	s.aborted += rep.Aborted
+	s.shed += rep.Shed
+	s.recovered += rep.Recovered
+	if s.obsShed != nil {
+		for i := 0; i < rep.Shed; i++ {
+			s.obsShed.Inc()
+		}
+	}
+	for _, res := range rep.Results {
+		s.results[res.ID] = res
+		delete(s.pending, res.ID)
+	}
 	s.last = rep
 	out := RunReport{
 		Episode:     s.episodes,
@@ -287,6 +382,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Rejected:    rep.Rejected,
 		Dropped:     rep.Dropped,
 		Aborted:     rep.Aborted,
+		Shed:        rep.Shed,
+		Retries:     rep.Retries,
+		Recovered:   rep.Recovered,
 		Preemptions: rep.Preemptions,
 		BatchedRuns: rep.BatchedRuns,
 	}
@@ -294,6 +392,125 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		out.DecisionLog = append(out.DecisionLog, d.String())
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ResultReport is the GET /v1/result response body.
+type ResultReport struct {
+	Result sched.Result `json:"result"`
+}
+
+// handleResult maps a terminal (or pending) request outcome to an HTTP
+// status. The mapping distinguishes the *retryable* fault-abort class
+// (503 + Retry-After: transient, resubmit later) from the isolation
+// abort class (410 Gone: do not retry) by the Retryable flag alone —
+// both carry the same opaque §IV-B error string, so no cause detail
+// crosses the API that the scheduler did not already decide to expose.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var id int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil || id <= 0 {
+		writeErr(w, http.StatusBadRequest, "id: positive integer required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[id]
+	if !ok {
+		if s.pending[id] {
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": "pending"})
+			return
+		}
+		writeErr(w, http.StatusNotFound, "unknown request id %d", id)
+		return
+	}
+	switch {
+	case res.Completed:
+		writeJSON(w, http.StatusOK, ResultReport{Result: res})
+	case res.Shed:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, ResultReport{Result: res})
+	case res.Dropped:
+		writeJSON(w, http.StatusGatewayTimeout, ResultReport{Result: res})
+	case res.Aborted && res.Retryable:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, ResultReport{Result: res})
+	case res.Aborted:
+		writeJSON(w, http.StatusGone, ResultReport{Result: res})
+	default: // rejected at admission
+		writeJSON(w, http.StatusBadRequest, ResultReport{Result: res})
+	}
+}
+
+// handleHealthz is liveness: 200 as long as the process serves HTTP,
+// draining included.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 once draining so load balancers stop
+// routing new work while in-flight episodes finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeBackpressure(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// Drain seals admission: subsequent submits and key provisioning get
+// 503 + Retry-After, /readyz flips to 503, and already-submitted work
+// remains runnable. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// DrainAndFinish seals admission and runs one final episode if any
+// requests are still pending, so SIGTERM shutdown completes in-flight
+// work (paying every §IV-B flush on the way) instead of stranding it.
+// It returns the final report, or nil if nothing was pending.
+func (s *Server) DrainAndFinish() (*sched.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	if s.sched.Pending() == 0 {
+		return nil, nil
+	}
+	rep, err := s.sched.Run()
+	if rerr := s.resetScheduler(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.episodes++
+	s.completed += rep.Completed
+	s.rejected += rep.Rejected
+	s.dropped += rep.Dropped
+	s.aborted += rep.Aborted
+	s.shed += rep.Shed
+	s.recovered += rep.Recovered
+	for _, res := range rep.Results {
+		s.results[res.ID] = res
+		delete(s.pending, res.ID)
+	}
+	s.last = rep
+	return rep, nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -310,7 +527,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"rejected":  s.rejected,
 		"dropped":   s.dropped,
 		"aborted":   s.aborted,
+		"shed":      s.shed,
+		"recovered": s.recovered,
+		"draining":  s.draining,
 		"protected": s.sys.Monitor() != nil,
+	}
+	if qs := s.breaker.Quarantined(); len(qs) > 0 {
+		sort.Strings(qs)
+		status["quarantined"] = qs
 	}
 	if s.last != nil {
 		status["last_makespan"] = s.last.Makespan

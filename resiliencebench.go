@@ -1,0 +1,250 @@
+package snpu
+
+// The resilience experiment: a fault-rate × offered-load grid over the
+// multi-tenant scheduler with the full resilience policy armed — every
+// request deadlined, transient faults injected from a seeded plan,
+// fault-aborted secure tasks retried with exponential backoff from
+// their checkpoints, per-tenant queue bounds shedding overload. Each
+// cell reports goodput (deadline-met completions per million cycles),
+// tail latency, and the recovery/shed/abort split, so the sweep shows
+// what the §IV-B fail-closed machinery costs and what the policy layer
+// buys back. Cells fan out over the experiments worker pool; the table
+// is byte-identical at any -j width and across fresh SoCs.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ResilienceBenchConfig tunes the sweep grid. The zero value selects
+// the defaults below (a small 2×2 grid so the full suite stays fast).
+type ResilienceBenchConfig struct {
+	// Requests per grid cell (default 24).
+	Requests int
+	// LoadsPerM are offered arrival rates in requests per million
+	// cycles (default light and overloaded: 0.2, 0.8).
+	LoadsPerM []float64
+	// FaultRatesPerM are transient-fault rates per million cycles fed
+	// to fault.TransientRates (default 0.1, 1 — an idle core accrues
+	// every overdue event and delivers the burst at dispatch, so rates
+	// beyond a few per Mcyc make every first attempt lethal).
+	FaultRatesPerM []float64
+	// Cores for the scheduler (default 0..3).
+	Cores []int
+	// Tenants is the number of submitting tenants (default 3).
+	Tenants int
+	// MaxRestarts is the per-request retry budget (default 2).
+	MaxRestarts int
+	// RetryBackoff is the base backoff in cycles (0 = sched default).
+	RetryBackoff sim.Cycle
+	// MaxQueuePerTenant bounds each tenant's queue (default 5).
+	MaxQueuePerTenant int
+}
+
+func (c ResilienceBenchConfig) withDefaults() ResilienceBenchConfig {
+	if c.Requests <= 0 {
+		c.Requests = 24
+	}
+	if len(c.LoadsPerM) == 0 {
+		c.LoadsPerM = []float64{0.2, 0.8}
+	}
+	if len(c.FaultRatesPerM) == 0 {
+		c.FaultRatesPerM = []float64{0.1, 1}
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = []int{0, 1, 2, 3}
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 3
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 2
+	}
+	if c.MaxQueuePerTenant <= 0 {
+		c.MaxQueuePerTenant = 5
+	}
+	return c
+}
+
+// ResilienceBenchRow is one (fault rate, load) cell.
+type ResilienceBenchRow struct {
+	FaultPerM float64
+	LoadPerM  float64
+	Requests  int
+	Completed int
+	// GoodputPerM is deadline-met completions per million cycles of
+	// makespan (every request carries a deadline, so completed ==
+	// deadline-met by construction).
+	GoodputPerM float64
+	P50, P99    sim.Cycle
+	Retries     int
+	Recovered   int
+	Shed        int
+	Dropped     int
+	Aborted     int
+	Rejected    int
+	FlushCycles sim.Cycle
+	Makespan    sim.Cycle
+}
+
+// ResilienceBenchResult is the full grid.
+type ResilienceBenchResult struct {
+	Seed int64
+	Rows []ResilienceBenchRow
+}
+
+// TableString renders the grid.
+func (r *ResilienceBenchResult) TableString() string {
+	header := []string{"fault/Mcyc", "load/Mcyc", "reqs", "done", "goodput/Mcyc",
+		"p50-cyc", "p99-cyc", "retries", "recovered", "shed", "drop", "abort", "rej", "flush-cyc"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", row.FaultPerM),
+			fmt.Sprintf("%g", row.LoadPerM),
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%.3f", row.GoodputPerM),
+			fmt.Sprintf("%d", row.P50),
+			fmt.Sprintf("%d", row.P99),
+			fmt.Sprintf("%d", row.Retries),
+			fmt.Sprintf("%d", row.Recovered),
+			fmt.Sprintf("%d", row.Shed),
+			fmt.Sprintf("%d", row.Dropped),
+			fmt.Sprintf("%d", row.Aborted),
+			fmt.Sprintf("%d", row.Rejected),
+			fmt.Sprintf("%d", row.FlushCycles),
+		})
+	}
+	return experiments.Table(header, rows)
+}
+
+// resilienceHorizon is the fault-plan horizon for one cell: a
+// deterministic function of the trace shape (never a control run, so
+// no cell depends on another's timing). It generously covers the
+// expected makespan; events past the actual makespan simply never fire.
+func resilienceHorizon(load float64, requests int) sim.Cycle {
+	return sim.Cycle(float64(requests)/load*1e6) + 100_000_000
+}
+
+// ResilienceTrace is ServeTrace with every request deadlined: the
+// sparse start deadlines ServeTrace already assigns stay, and every
+// other request gets a looser finish deadline at arrival + 16/load
+// Mcyc. Exposed so differential tests replay the bench's exact trace.
+func ResilienceTrace(seed int64, loadPerM float64, n, tenants int) []sched.Request {
+	reqs := ServeTrace(seed, loadPerM, n, tenants)
+	for i := range reqs {
+		if reqs[i].Deadline == 0 {
+			reqs[i].Deadline = reqs[i].Arrival + sim.Cycle(16e6/loadPerM)
+		}
+	}
+	return reqs
+}
+
+// ResilienceBench runs the grid. Each cell boots a fresh protected
+// SoC, installs a seeded transient-fault plan, provisions per-tenant
+// keys, replays the deadlined trace through one scheduler episode with
+// retries and queue bounds armed, and summarizes the report.
+func ResilienceBench(seed int64, cfg ResilienceBenchConfig) (*ResilienceBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ResilienceBenchResult{Seed: seed}
+	nRates, nLoads := len(cfg.FaultRatesPerM), len(cfg.LoadsPerM)
+	rows, err := experiments.MapIndexed(nRates*nLoads, func(i int) (ResilienceBenchRow, error) {
+		rate := cfg.FaultRatesPerM[i/nLoads]
+		load := cfg.LoadsPerM[i%nLoads]
+		row, err := resilienceCell(seed+int64(i)*104729, rate, load, cfg)
+		if err != nil {
+			return ResilienceBenchRow{}, fmt.Errorf("resilience cell fault=%g load=%g: %w", rate, load, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+func resilienceCell(seed int64, rate, load float64, cfg ResilienceBenchConfig) (ResilienceBenchRow, error) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		return ResilienceBenchRow{}, err
+	}
+	sys.InstallFaultPlan(fault.Generate(seed, resilienceHorizon(load, cfg.Requests), fault.TransientRates(rate)))
+	keys := make(map[string][]byte, cfg.Tenants)
+	sealedFor := make(map[string][]byte)
+	for t := 0; t < cfg.Tenants; t++ {
+		keyID := fmt.Sprintf("t%d-key", t)
+		key := ChaosKey(seed + int64(t))
+		if err := sys.ProvisionKey(keyID, key); err != nil {
+			return ResilienceBenchRow{}, err
+		}
+		keys[keyID] = key
+	}
+	sc, err := sys.NewScheduler(sched.Config{
+		Cores:             cfg.Cores,
+		MaxRestarts:       cfg.MaxRestarts,
+		RetryBackoff:      cfg.RetryBackoff,
+		MaxQueuePerTenant: cfg.MaxQueuePerTenant,
+	})
+	if err != nil {
+		return ResilienceBenchRow{}, err
+	}
+	row := ResilienceBenchRow{FaultPerM: rate, LoadPerM: load}
+	for _, r := range ResilienceTrace(seed, load, cfg.Requests, cfg.Tenants) {
+		if r.Secure {
+			sealKey := r.KeyID + "/" + r.Model
+			if sealedFor[sealKey] == nil {
+				blob, err := SealModel(keys[r.KeyID], []byte("resilience model "+sealKey))
+				if err != nil {
+					return ResilienceBenchRow{}, err
+				}
+				sealedFor[sealKey] = blob
+			}
+			r.Sealed = sealedFor[sealKey]
+		}
+		switch err := sc.Submit(r); {
+		case err == nil:
+			row.Requests++
+		case errors.Is(err, sched.ErrQueueFull):
+			// Shed at admission: counted with the victims shed mid-trace.
+			row.Shed++
+		default:
+			return ResilienceBenchRow{}, err
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		return ResilienceBenchRow{}, err
+	}
+	row.Completed = rep.Completed
+	row.Retries = rep.Retries
+	row.Recovered = rep.Recovered
+	row.Shed += rep.Shed
+	row.Dropped = rep.Dropped
+	row.Aborted = rep.Aborted
+	row.Rejected = rep.Rejected
+	row.FlushCycles = rep.FlushCycles
+	row.Makespan = rep.Makespan
+	if rep.Makespan > 0 {
+		row.GoodputPerM = float64(rep.Completed) * 1e6 / float64(rep.Makespan)
+	}
+	var lats []sim.Cycle
+	for _, r := range rep.Results {
+		if r.Completed {
+			lats = append(lats, r.Latency())
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = lats[len(lats)/2]
+		row.P99 = lats[(len(lats)*99)/100]
+	}
+	return row, nil
+}

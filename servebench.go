@@ -111,7 +111,7 @@ func (r *ServeBenchResult) TableString() string {
 // point: exponential inter-arrivals at loadPerM requests per million
 // cycles, tenants round-robined through a seeded RNG, models drawn
 // from the serve pool, roughly half the requests secure, and every
-// fifth request carrying a start deadline. Exposed so the differential
+// fifth request carrying a finish deadline. Exposed so the differential
 // tests replay the exact trace the bench ran.
 func ServeTrace(seed int64, loadPerM float64, n, tenants int) []sched.Request {
 	rng := rand.New(rand.NewSource(seed))
