@@ -27,7 +27,7 @@ import (
 // aspirations: dropping below one means tests were lost or a large
 // untested surface was added to a trust-critical package.
 var floors = map[string]float64{
-	"repro/internal/sched":   70,
+	"repro/internal/sched":   75,
 	"repro/internal/serve":   80,
 	"repro/internal/monitor": 80,
 	"repro/internal/spad":    90,

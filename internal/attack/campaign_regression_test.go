@@ -1,0 +1,111 @@
+package attack
+
+// Regression suite for scenarios minimized out of the coverage-guided
+// security campaign (internal/campaign). Each entry is a named,
+// table-driven replay of a schedule that once found — or minimally
+// reproduces — a real bug in this repo's history; the campaign engine
+// re-executes it with the full §IV-B invariant set armed (planted
+// LeftoverLocals secret probed at every switch, opaque aborts,
+// attestation, causality, deadline cuts). A failure here means a
+// historical bug class has reopened.
+//
+// New crashers found by `go test -fuzz=FuzzCampaign` should be
+// minimized into a campaign.Scenario constructor and added to this
+// table (and to the seed corpus) rather than committed as raw fuzz
+// inputs.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestCampaignRegressions(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario campaign.Scenario
+		// check inspects the clean-run outcome to prove the schedule
+		// still walks the code path it was minimized from.
+		check func(t *testing.T, out *campaign.Outcome)
+	}{
+		{
+			// PR-4 history: the scheduler admitted and dispatched a
+			// request 30M cycles before its arrival. The campaign's
+			// causality invariant is the detector; this check pins the
+			// schedule shape (the future request really is future).
+			name:     "admit-early",
+			scenario: campaign.AdmitEarlyScenario(),
+			check: func(t *testing.T, out *campaign.Outcome) {
+				r := out.Report.ResultByID(2)
+				if r == nil || !r.Completed {
+					t.Fatalf("future request did not complete: %+v", r)
+				}
+				for _, d := range out.Report.Decisions {
+					if d.Req == 2 && d.Cycle < 30_000_000 {
+						t.Fatalf("decision %q for req 2 at cycle %d, before its arrival", d.Event, d.Cycle)
+					}
+				}
+			},
+		},
+		{
+			// Deadline one cycle short of the measured solo compute
+			// floor: passes admission, must be cut at a tile boundary
+			// with the secure flush paid before the core is reused.
+			name:     "deadline-cut",
+			scenario: campaign.DeadlineCutScenario(),
+			check: func(t *testing.T, out *campaign.Outcome) {
+				if r := out.Report.ResultByID(1); r == nil || !r.Dropped {
+					t.Fatalf("deadline-cut request did not drop: %+v", r)
+				}
+				if !strings.Contains(out.Report.DecisionLog(), "deadline_miss") {
+					t.Fatal("no deadline_miss decision recorded")
+				}
+				if out.Report.FlushCycles == 0 {
+					t.Fatal("secure deadline cut paid no flush")
+				}
+			},
+		},
+		{
+			// Hostile post-run trampoline traffic: stale task ids,
+			// garbage images, and a translation window aimed at secure
+			// DRAM. The run is clean only if every hostile call was
+			// refused without leaking the planted secret.
+			name:     "hostile-monitor",
+			scenario: campaign.HostileMonitorScenario(),
+			check: func(t *testing.T, out *campaign.Outcome) {
+				if out.Bitmap == 0 {
+					t.Fatal("hostile monitor leg left no transition coverage")
+				}
+			},
+		},
+		{
+			// Minimized fuzz crasher: an admission-rejected request
+			// (deadline below the compute floor) must terminate as
+			// Rejected — exactly one terminal state, no partial run.
+			name:     "serve-rejected",
+			scenario: campaign.ServeRejectedScenario(),
+			check: func(t *testing.T, out *campaign.Outcome) {
+				r := out.Report.ResultByID(1)
+				if r == nil || !r.Rejected {
+					t.Fatalf("infeasible request was not rejected at admission: %+v", r)
+				}
+				if r.Completed || r.Aborted || r.Dropped || r.Shed {
+					t.Fatalf("rejected request reached a second terminal state: %+v", r)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := campaign.Execute(tc.scenario)
+			if err != nil {
+				t.Fatalf("campaign invariants violated: %v", err)
+			}
+			tc.check(t, out)
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// Decode is a total function: any byte string — empty, truncated,
+// all-ones — must yield a scenario within the documented bounds.
+func TestDecodeBoundsOnArbitraryInput(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		[]byte(strings.Repeat("\xa5", 300)),
+		[]byte("not a scenario at all, just prose"),
+		{flagGenerated, 0x01},
+		{flagMonLeg | flagChaos | flagServeLo | flagServeHi, 0xee, 0xdd},
+	}
+	for i, in := range inputs {
+		sc := Decode(in)
+		if sc.Cores < 1 || sc.Cores > 3 {
+			t.Fatalf("input %d: cores %d out of bounds", i, sc.Cores)
+		}
+		if sc.Tenants < 1 || sc.Tenants > 3 {
+			t.Fatalf("input %d: tenants %d out of bounds", i, sc.Tenants)
+		}
+		if sc.MaxBatch < 1 || sc.MaxBatch > 4 {
+			t.Fatalf("input %d: batch %d out of bounds", i, sc.MaxBatch)
+		}
+		if sc.MaxRestarts < 0 || sc.MaxRestarts > 2 {
+			t.Fatalf("input %d: restarts %d out of bounds", i, sc.MaxRestarts)
+		}
+		if sc.MaxQueuePerTenant != 0 && (sc.MaxQueuePerTenant < 2 || sc.MaxQueuePerTenant > 4) {
+			t.Fatalf("input %d: queue bound %d out of bounds", i, sc.MaxQueuePerTenant)
+		}
+		if len(sc.Requests) == 0 {
+			t.Fatalf("input %d: no requests decoded", i)
+		}
+		for _, r := range sc.Requests {
+			if r.ID <= 0 || r.Tenant == "" {
+				t.Fatalf("input %d: malformed request %+v", i, r)
+			}
+			if r.Deadline > 0 && r.Deadline <= r.Arrival {
+				t.Fatalf("input %d: invalid deadline %+v", i, r)
+			}
+			if r.Secure && r.KeyID == "" {
+				t.Fatalf("input %d: secure request without key %+v", i, r)
+			}
+		}
+		if len(sc.MonCalls) > maxMonCalls {
+			t.Fatalf("input %d: %d monitor calls", i, len(sc.MonCalls))
+		}
+		if sc.Serve < 0 || sc.Serve >= maxServeModes {
+			t.Fatalf("input %d: serve mode %d", i, sc.Serve)
+		}
+	}
+}
+
+// Encode must be Decode's exact inverse on explicit-request
+// scenarios — otherwise the committed historical-bug seeds would not
+// replay the scenarios they were minimized from.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	scenarios := map[string]Scenario{
+		"admit-early":     AdmitEarlyScenario(),
+		"deadline-cut":    DeadlineCutScenario(),
+		"hostile-monitor": HostileMonitorScenario(),
+		"drain-race":      DrainRaceScenario(),
+		"serve-rejected":  ServeRejectedScenario(),
+		"kitchen-sink": {
+			Seed: 200, Cores: 3, Tenants: 3, MaxBatch: 4, MaxRestarts: 2,
+			MaxQueuePerTenant: 4, Breaker: true,
+			Chaos: &ChaosSpec{PerMillion: 25, Transient: true},
+			Serve: ServeFinish,
+			Requests: []sched.Request{
+				{ID: 1, Tenant: "t2", Model: "yololite", Arrival: 0, Priority: 2},
+				{ID: 2, Tenant: "t0", Model: "mobilenet", Secure: true, KeyID: "t0-key",
+					Arrival: 1_000_000, Deadline: 44_000_000},
+				{ID: 3, Tenant: "t1", Model: "mobilenet", Arrival: 40_000_000},
+			},
+			MonCalls: []MonCall{{Fn: 5, A: [3]byte{1, 2, 3}}},
+		},
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			got := Decode(Encode(sc))
+			if !reflect.DeepEqual(got, sc) {
+				t.Fatalf("round trip diverged\n got %+v\nwant %+v", got, sc)
+			}
+		})
+	}
+}
+
+// The historical seeds must execute clean AND demonstrably walk the
+// code path they guard: the admit-early schedule admits its future
+// request only after its arrival, the deadline-cut schedule records a
+// mid-run deadline_miss with a paid flush.
+func TestSeedScenariosExerciseTheirBugPaths(t *testing.T) {
+	t.Run("admit-early", func(t *testing.T) {
+		out, err := Execute(AdmitEarlyScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := out.Report.ResultByID(2); r == nil || !r.Completed {
+			t.Fatalf("future request did not complete: %+v", r)
+		}
+		for _, d := range out.Report.Decisions {
+			if d.Req == 2 && d.Cycle < 30_000_000 {
+				t.Fatalf("decision %q for req 2 at %d, before its arrival", d.Event, d.Cycle)
+			}
+		}
+	})
+	t.Run("deadline-cut", func(t *testing.T) {
+		out, err := Execute(DeadlineCutScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := out.Report.ResultByID(1)
+		if r == nil || !r.Dropped {
+			t.Fatalf("deadline-cut request did not drop: %+v", r)
+		}
+		if !strings.Contains(out.Report.DecisionLog(), "deadline_miss") {
+			t.Fatalf("no deadline_miss decision:\n%s", out.Report.DecisionLog())
+		}
+		if out.Report.FlushCycles == 0 {
+			t.Fatal("secure deadline cut paid no flush")
+		}
+	})
+	t.Run("serve-rejected", func(t *testing.T) {
+		out, err := Execute(ServeRejectedScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := out.Report.ResultByID(1); r == nil || !r.Rejected {
+			t.Fatalf("infeasible-deadline request was not rejected at admission: %+v", r)
+		}
+	})
+	t.Run("hostile-monitor", func(t *testing.T) {
+		out, err := Execute(HostileMonitorScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The hostile leg must have fed the coverage bitmap: at least
+		// one trampoline error-outcome bit is set.
+		if out.Bitmap == 0 {
+			t.Fatal("hostile monitor leg left no transition coverage")
+		}
+	})
+}
+
+// Fold must be a pure function of its inputs — the corpus replay
+// compares it across runs.
+func TestFoldDeterministic(t *testing.T) {
+	pairs := [][2]uint64{{0, 0}, {0xdeadbeef, 1}, {^uint64(0), ^uint64(0)}, {12345, 0x8000_0000_0000_0001}}
+	for _, p := range pairs {
+		if a, b := Fold(p[0], p[1]), Fold(p[0], p[1]); a != b {
+			t.Fatalf("Fold(%#x,%#x) nondeterministic: %d vs %d", p[0], p[1], a, b)
+		}
+	}
+	if Fold(0, 0) == Fold(^uint64(0), ^uint64(0)) {
+		t.Fatal("Fold does not separate extreme inputs")
+	}
+}

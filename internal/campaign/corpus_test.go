@@ -1,0 +1,138 @@
+package campaign
+
+// Replay harness for the committed corpus: every entry under
+// testdata/fuzz/FuzzCampaign must decode, execute clean, and — run
+// twice on fresh Systems — produce byte-identical decision logs and
+// identical coverage signals. CI runs this under -race, so the replay
+// also proves the campaign engine itself is data-race free.
+//
+// Regenerate the seed files after changing the encoding:
+//
+//	go test ./internal/campaign -run TestWriteSeedCorpus -write-corpus
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var writeCorpus = flag.Bool("write-corpus", false, "rewrite the committed seed corpus files")
+
+var corpusDir = filepath.Join("testdata", "fuzz", "FuzzCampaign")
+
+// seedCorpus names every committed entry. The two historical bugs
+// lead; the rest cover one leg of the state space each.
+func seedCorpus() map[string][]byte {
+	return map[string][]byte{
+		"admit-early":     Encode(AdmitEarlyScenario()),
+		"deadline-cut":    Encode(DeadlineCutScenario()),
+		"hostile-monitor": Encode(HostileMonitorScenario()),
+		"drain-race":      Encode(DrainRaceScenario()),
+		"serve-rejected":  Encode(ServeRejectedScenario()),
+		"chaos-generated": {flagGenerated | flagChaos, 11, 2, 2, 1, 1, 0, 5, 0x3a, 0x91, 0x44, 0x07, 0xc2, 0x15, 0x68, 0xde},
+		"serve-run":       {flagServeLo, 3, 1, 0, 0, 0, 0, 0, 0},
+	}
+}
+
+func marshalCorpusEntry(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+}
+
+func unmarshalCorpusEntry(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	lines := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("not a go corpus file: %.80q", raw)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimSuffix(strings.TrimPrefix(body, "[]byte("), ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		t.Fatalf("unquote %q: %v", body, err)
+	}
+	return []byte(s)
+}
+
+func TestWriteSeedCorpus(t *testing.T) {
+	if !*writeCorpus {
+		t.Skip("pass -write-corpus to rewrite the seed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seedCorpus() {
+		path := filepath.Join(corpusDir, "seed-"+name)
+		if err := os.WriteFile(path, marshalCorpusEntry(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCampaignCorpus is the deterministic replay path: `go test -run
+// TestCampaignCorpus ./internal/campaign` executes every committed
+// corpus entry twice and cross-checks the runs byte for byte.
+func TestCampaignCorpus(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty seed corpus")
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"seed-admit-early", "seed-deadline-cut"} {
+		if !names[want] {
+			t.Fatalf("historical bug seed %s missing from the corpus", want)
+		}
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			raw, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := unmarshalCorpusEntry(t, raw)
+			first, err := Run(data)
+			if err != nil {
+				t.Fatalf("corpus entry violates invariants: %v", err)
+			}
+			again, err := Run(data)
+			if err != nil {
+				t.Fatalf("second run violates invariants: %v", err)
+			}
+			if a, b := first.Report.DecisionLog(), again.Report.DecisionLog(); a != b {
+				t.Fatalf("decision log not deterministic\n--- first ---\n%s\n--- again ---\n%s", a, b)
+			}
+			if first.Hash != again.Hash || first.Bitmap != again.Bitmap {
+				t.Fatalf("coverage signal not deterministic: %#x/%#x vs %#x/%#x",
+					first.Hash, first.Bitmap, again.Hash, again.Bitmap)
+			}
+		})
+	}
+}
+
+// The committed historical-bug entries must stay in sync with their
+// scenario constructors: a drifted encoding would silently stop
+// guarding the bug it was minimized from.
+func TestCorpusMatchesSeedScenarios(t *testing.T) {
+	for name, want := range seedCorpus() {
+		raw, err := os.ReadFile(filepath.Join(corpusDir, "seed-"+name))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -write-corpus)", name, err)
+		}
+		got := unmarshalCorpusEntry(t, raw)
+		if string(got) != string(want) {
+			t.Fatalf("seed-%s drifted from its scenario constructor: got %q want %q (regenerate with -write-corpus)",
+				name, got, want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package campaign
+
+// Bytes → scenario. The mapping is total: every byte string, including
+// the empty one, decodes to a valid executable scenario (missing bytes
+// read as zero), and small byte edits make small scenario edits so the
+// fuzzer's mutations move smoothly through the state space. Encode is
+// the exact inverse for explicit-request scenarios; it exists so the
+// historical bug schedules can be committed as corpus seeds that
+// decode back to themselves. The full layout is documented in
+// DESIGN.md §12.
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/schedgen"
+	"repro/internal/sim"
+)
+
+// Header flag bits (byte 0).
+const (
+	flagGenerated = 1 << 0 // requests drawn via schedgen instead of listed
+	flagChaos     = 1 << 1 // install a seeded fault plan
+	flagTransient = 1 << 2 // chaos uses transient (recoverable-heavy) rates
+	flagBreaker   = 1 << 3 // arm the default per-tenant circuit breaker
+	flagMonLeg    = 1 << 4 // hostile trampoline-call leg after the episode
+	flagServeLo   = 1 << 5 // serve-leg mode low bit
+	flagServeHi   = 1 << 6 // serve-leg mode high bit
+)
+
+// Serve-leg modes.
+const (
+	ServeNone     = 0 // no serve leg
+	ServeRun      = 1 // replay the schedule through the HTTP daemon
+	ServeDrained  = 2 // drain first: every submit must be refused 503
+	ServeFinish   = 3 // submit, then DrainAndFinish runs the episode
+	maxServeModes = 4
+)
+
+// Decode bounds. Kept small so a single fuzz exec stays fast; the
+// interesting space is interleavings, not volume.
+const (
+	maxExplicitRequests = 8
+	maxMonCalls         = 6
+	arrivalDeltaBound   = 50_000_000
+	deadlineDeltaBound  = 50_000_000
+)
+
+// ChaosSpec selects a seeded fault plan for the episode.
+type ChaosSpec struct {
+	PerMillion int
+	Transient  bool
+}
+
+// MonCall is one decoded hostile trampoline call: a function selector
+// plus three raw argument bytes the executor maps onto that
+// function's argument shape.
+type MonCall struct {
+	Fn monitor.FuncID
+	A  [3]byte
+}
+
+// Scenario is one fully decoded adversarial run.
+type Scenario struct {
+	Seed    int64 // tenant-key derivation and chaos-plan seed
+	Cores   int   // 1..3
+	Tenants int   // 1..3
+
+	MaxBatch          int // 1..4
+	MaxRestarts       int // 0..2
+	MaxQueuePerTenant int // 0 (unbounded) or 2..4
+	Breaker           bool
+
+	Chaos    *ChaosSpec
+	Requests []sched.Request // Sealed is filled at Execute time
+	MonCalls []MonCall
+	Serve    int // Serve* mode
+}
+
+// Decode maps an arbitrary byte string onto a Scenario. It never
+// fails and never panics.
+func Decode(data []byte) Scenario {
+	src := schedgen.NewByteSource(data)
+	flags := src.Next()
+	sc := Scenario{
+		Seed:        1 + int64(src.Next()),
+		Cores:       1 + src.Intn(3),
+		Tenants:     1 + src.Intn(3),
+		MaxBatch:    1 + src.Intn(4),
+		MaxRestarts: src.Intn(3),
+		Breaker:     flags&flagBreaker != 0,
+		Serve:       int(flags>>5) & 3,
+	}
+	if q := src.Intn(4); q > 0 {
+		sc.MaxQueuePerTenant = 1 + q // 2..4
+	}
+	chaosRate := 1 + src.Intn(50)
+	if flags&flagChaos != 0 {
+		sc.Chaos = &ChaosSpec{PerMillion: chaosRate, Transient: flags&flagTransient != 0}
+	}
+
+	if flags&flagGenerated != 0 {
+		// Same generator, same distribution as the property suite —
+		// the fuzz input is just a different entropy stream.
+		prof := schedgen.DefaultProfile()
+		sc.Requests = schedgen.Requests(src, prof, sc.Tenants, nil)
+	} else {
+		n := 1 + src.Intn(maxExplicitRequests)
+		var arrival int64
+		for id := 1; id <= n; id++ {
+			arrival += int64(src.Uint32()) % arrivalDeltaBound
+			ti := src.Intn(sc.Tenants)
+			r := sched.Request{
+				ID:       id,
+				Tenant:   "t" + string(rune('0'+ti)),
+				Model:    schedgen.Models[src.Intn(len(schedgen.Models))],
+				Priority: sched.Priority(src.Intn(3)),
+				Arrival:  sim.Cycle(arrival),
+			}
+			rflags := src.Next()
+			ddelta := src.Uint32()
+			if rflags&1 != 0 {
+				r.Secure = true
+				r.KeyID = schedgen.TenantKeyID(ti)
+			}
+			if rflags&2 != 0 {
+				r.Deadline = r.Arrival + 1 + sim.Cycle(uint64(ddelta)%deadlineDeltaBound)
+			}
+			sc.Requests = append(sc.Requests, r)
+		}
+	}
+
+	if flags&flagMonLeg != 0 {
+		n := 1 + src.Intn(maxMonCalls)
+		for i := 0; i < n; i++ {
+			c := MonCall{Fn: monitor.FuncID(1 + src.Intn(8))}
+			c.A[0], c.A[1], c.A[2] = src.Next(), src.Next(), src.Next()
+			sc.MonCalls = append(sc.MonCalls, c)
+		}
+	}
+	return sc
+}
+
+// Encode is Decode's inverse for explicit-request scenarios: the
+// returned bytes decode to exactly sc (asserted by the decoder round
+// trip tests). Generated-mode scenarios cannot be encoded — list the
+// requests explicitly instead.
+func Encode(sc Scenario) []byte {
+	var flags byte
+	if sc.Chaos != nil {
+		flags |= flagChaos
+		if sc.Chaos.Transient {
+			flags |= flagTransient
+		}
+	}
+	if sc.Breaker {
+		flags |= flagBreaker
+	}
+	if len(sc.MonCalls) > 0 {
+		flags |= flagMonLeg
+	}
+	flags |= byte(sc.Serve&3) << 5
+
+	b := []byte{flags, byte(sc.Seed - 1), byte(sc.Cores - 1), byte(sc.Tenants - 1), byte(sc.MaxBatch - 1), byte(sc.MaxRestarts)}
+	if sc.MaxQueuePerTenant > 0 {
+		b = append(b, byte(sc.MaxQueuePerTenant-1))
+	} else {
+		b = append(b, 0)
+	}
+	rate := 1
+	if sc.Chaos != nil {
+		rate = sc.Chaos.PerMillion
+	}
+	b = append(b, byte(rate-1))
+
+	b = append(b, byte(len(sc.Requests)-1))
+	var arrival int64
+	for _, r := range sc.Requests {
+		delta := int64(r.Arrival) - arrival
+		arrival = int64(r.Arrival)
+		b = schedgen.AppendUint32(b, uint32(delta))
+		b = append(b, r.Tenant[len(r.Tenant)-1]-'0')
+		mi := 0
+		for i, m := range schedgen.Models {
+			if m == r.Model {
+				mi = i
+			}
+		}
+		b = append(b, byte(mi), byte(r.Priority))
+		var rflags byte
+		var ddelta uint32
+		if r.Secure {
+			rflags |= 1
+		}
+		if r.Deadline > 0 {
+			rflags |= 2
+			ddelta = uint32(r.Deadline - r.Arrival - 1)
+		}
+		b = append(b, rflags)
+		b = schedgen.AppendUint32(b, ddelta)
+	}
+
+	if len(sc.MonCalls) > 0 {
+		b = append(b, byte(len(sc.MonCalls)-1))
+		for _, c := range sc.MonCalls {
+			b = append(b, byte(c.Fn-1), c.A[0], c.A[1], c.A[2])
+		}
+	}
+	return b
+}

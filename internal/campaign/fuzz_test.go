@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// coverSink keeps Fold's accumulator alive across executions so the
+// compiler cannot discard the coverage-folding branches.
+var coverSink int
+
+// FuzzCampaign is the coverage-guided security campaign: every input
+// decodes (totally) into an adversarial scenario over the
+// sched×monitor×fault×serve state space, executes against a fresh
+// System, and must survive with all §IV-B invariants intact. The
+// decision-log hash and monitor transition bitmap are folded into
+// branch coverage, so the engine chases novel interleavings, not
+// novel byte strings.
+//
+//	go test ./internal/campaign -run '^$' -fuzz FuzzCampaign -fuzztime 60s
+func FuzzCampaign(f *testing.F) {
+	// The two historical bugs anchor the corpus...
+	f.Add(Encode(AdmitEarlyScenario()))
+	f.Add(Encode(DeadlineCutScenario()))
+	// ...plus one seed per leg of the state space.
+	f.Add(Encode(HostileMonitorScenario()))
+	f.Add(Encode(DrainRaceScenario()))
+	// Minimized from a fuzz-found harness crasher: an admission-
+	// rejected request surfacing through the serve result API.
+	f.Add(Encode(ServeRejectedScenario()))
+	// Generated-mode schedules under chaos: header flags select the
+	// schedgen path (bit 0) and a seeded fault plan (bits 1-2); the
+	// tail bytes are generator entropy.
+	f.Add([]byte{flagGenerated | flagChaos, 11, 2, 2, 1, 1, 0, 5, 0x3a, 0x91, 0x44, 0x07, 0xc2, 0x15, 0x68, 0xde})
+	f.Add([]byte{flagGenerated | flagChaos | flagTransient | flagBreaker, 42, 1, 1, 0, 2, 2, 24, 0xff, 0x00, 0x81, 0x7e})
+	// Serve-leg modes over a tiny explicit schedule.
+	f.Add([]byte{flagServeLo, 3, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{flagServeLo | flagServeHi, 5, 0, 0, 0, 1, 0, 0, 1})
+	// Empty and near-empty inputs must decode and execute too.
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Run(data)
+		if err != nil {
+			t.Fatalf("scenario %+v\n%v", Decode(data), err)
+		}
+		coverSink += Fold(out.Hash, out.Bitmap)
+	})
+}

@@ -47,6 +47,32 @@ type SecureTask struct {
 	Loaded    bool
 }
 
+// Transition bits for the monitor's state-transition coverage bitmap
+// (TransitionBitmap). Bits 0..15 are set by the trampoline dispatcher:
+// bit 2*(f-1) when FuncID f returned ok, bit 2*(f-1)+1 when it
+// returned an error. Bits 16+ mark semantic transitions inside the
+// monitor's task state machine; together they make the monitor's
+// explored state space observable to the coverage-guided campaign
+// harness (internal/campaign) without changing a single simulated
+// cycle — the bitmap is passive, like the obs counters next to it.
+const (
+	TrSubmitVerified  = 16 // task verified and enqueued
+	TrSubmitBadMeas   = 17 // submit refused: measurement mismatch
+	TrSubmitNoSpace   = 18 // submit refused: secure allocator full
+	TrLoadOK          = 19 // verified task loaded onto cores
+	TrLoadBadRoute    = 20 // load refused: route-integrity check
+	TrPreemptLoaded   = 21 // loaded task preempted (flush paid)
+	TrPreemptRefused  = 22 // preempt refused: unknown/not loaded
+	TrAbortLoaded     = 23 // fail-closed abort of a loaded task
+	TrAbortQueued     = 24 // fail-closed abort of a queued task
+	TrUnloadLoaded    = 25 // orderly unload of a loaded task
+	TrUnloadQueued    = 26 // orderly unload of a queued task
+	TrMapOK           = 27 // non-secure window programmed
+	TrMapSecureTarget = 28 // map refused: window into secure memory
+	TrKeyProvisioned  = 29 // sealing key installed
+	TrUnsealFailed    = 30 // submit refused: sealed model failed to open
+)
+
 // Monitor is the trusted software module. Construction requires the
 // secure context, so only boot-path code can create one.
 type Monitor struct {
@@ -64,10 +90,30 @@ type Monitor struct {
 	nextID int
 	stats  *sim.Stats
 
+	// transitions accumulates the state-transition coverage bitmap
+	// (see the Tr* bit constants); read through TransitionBitmap.
+	transitions uint64
+
 	// Observability: pre-resolved counters, nil unless AttachObserver
 	// was called.
 	obsCalls, obsAborts, obsRejects, obsPreempts *obs.Counter
 }
+
+// note sets one transition-coverage bit. Bits only accumulate; the
+// bitmap over a monitor's lifetime records which corners of the task
+// state machine were ever exercised.
+func (m *Monitor) note(bit uint) {
+	if bit < 64 {
+		m.transitions |= 1 << bit
+	}
+}
+
+// TransitionBitmap reports the accumulated state-transition coverage
+// since boot: one bit per (trampoline function, outcome) pair plus the
+// semantic Tr* transitions. The campaign fuzzer folds it into its
+// coverage signal so exploring a new monitor transition is rewarded
+// like exploring a new branch.
+func (m *Monitor) TransitionBitmap() uint64 { return m.transitions }
 
 // AttachObserver wires the monitor into an observability layer:
 // monitor.call.count per trampoline entry, monitor.abort.count per
@@ -125,6 +171,7 @@ func (m *Monitor) ProvisionKey(keyID string, key []byte) error {
 	k := make([]byte, KeySize)
 	copy(k, key)
 	m.keys[keyID] = k
+	m.note(TrKeyProvisioned)
 	return nil
 }
 
@@ -156,17 +203,20 @@ func (m *Monitor) Submit(spec TaskSpec) (int, error) {
 		return 0, m.reject(fmt.Errorf("monitor: program rejected: %w", err))
 	}
 	if got := spec.Program.Measurement(); got != spec.Expected {
+		m.note(TrSubmitBadMeas)
 		return 0, m.reject(ErrBadMeasurement)
 	}
 	var model []byte
 	if len(spec.SealedModel) > 0 {
 		key, ok := m.keys[spec.KeyID]
 		if !ok {
+			m.note(TrUnsealFailed)
 			return 0, m.reject(fmt.Errorf("monitor: no key %q provisioned", spec.KeyID))
 		}
 		var err error
 		model, err = OpenModel(key, spec.SealedModel)
 		if err != nil {
+			m.note(TrUnsealFailed)
 			return 0, m.reject(err)
 		}
 	}
@@ -176,6 +226,7 @@ func (m *Monitor) Submit(spec TaskSpec) (int, error) {
 	size := uint64(mem.PageAlignUp(mem.PhysAddr(hi)) - mem.PageAlignDown(mem.PhysAddr(lo)))
 	chunk, err := m.alloc.Alloc(size, mem.PageSize)
 	if err != nil {
+		m.note(TrSubmitNoSpace)
 		return 0, m.reject(err)
 	}
 	task := &SecureTask{
@@ -189,6 +240,7 @@ func (m *Monitor) Submit(spec TaskSpec) (int, error) {
 	m.nextID++
 	m.queue = append(m.queue, task)
 	m.tasks[task.ID] = task
+	m.note(TrSubmitVerified)
 	return task.ID, nil
 }
 
@@ -216,6 +268,7 @@ func (m *Monitor) Load(taskID int, cores []int, spadFrom, spadTo int) error {
 		topo = isolator.Topology{W: 1, H: 1}
 	}
 	if err := isolator.VerifyRoute(topo, coords); err != nil {
+		m.note(TrLoadBadRoute)
 		return m.reject(err)
 	}
 	// Trusted allocator: no scratchpad overlap among loaded secure
@@ -260,6 +313,7 @@ func (m *Monitor) Load(taskID int, cores []int, spadFrom, spadTo int) error {
 	task.Cores = append([]int(nil), cores...)
 	task.SpadLines = [2]int{spadFrom, spadTo}
 	task.Loaded = true
+	m.note(TrLoadOK)
 	// Remove from the pending queue.
 	for i, q := range m.queue {
 		if q.ID == taskID {
@@ -279,6 +333,7 @@ func (m *Monitor) Unload(taskID int) error {
 		return m.reject(ErrUnknownTask)
 	}
 	if task.Loaded {
+		m.note(TrUnloadLoaded)
 		for _, ci := range task.Cores {
 			core, err := m.acc.Core(ci)
 			if err != nil {
@@ -296,6 +351,8 @@ func (m *Monitor) Unload(taskID int) error {
 				}
 			}
 		}
+	} else {
+		m.note(TrUnloadQueued)
 	}
 	if err := m.alloc.Free(task.Chunk); err != nil {
 		return m.reject(err)
@@ -322,11 +379,14 @@ func (m *Monitor) Preempt(taskID int) error {
 	m.call()
 	task, ok := m.tasks[taskID]
 	if !ok {
+		m.note(TrPreemptRefused)
 		return m.reject(ErrUnknownTask)
 	}
 	if !task.Loaded {
+		m.note(TrPreemptRefused)
 		return m.reject(fmt.Errorf("monitor: task %d is not loaded", taskID))
 	}
+	m.note(TrPreemptLoaded)
 	if m.obsPreempts != nil {
 		m.obsPreempts.Inc()
 	}
@@ -377,6 +437,11 @@ func (m *Monitor) Abort(taskID int) error {
 	}
 	if m.obsAborts != nil {
 		m.obsAborts.Inc()
+	}
+	if task.Loaded {
+		m.note(TrAbortLoaded)
+	} else {
+		m.note(TrAbortQueued)
 	}
 	if task.Loaded {
 		for _, ci := range task.Cores {
@@ -462,9 +527,14 @@ func (m *Monitor) MapNonSecure(core int, slot int, vbase mem.VirtAddr, pbase mem
 		return m.reject(fmt.Errorf("monitor: core %d has no guarder", core))
 	}
 	if r, found := m.machine.Phys().FindRegion(pbase); found && r.Owner == mem.Secure {
+		m.note(TrMapSecureTarget)
 		return m.reject(fmt.Errorf("monitor: non-secure window targets secure region %q", r.Name))
 	}
-	return g.SetTransReg(m.ctx, slot, guarder.TransReg{VBase: vbase, PBase: pbase, Size: size, Valid: true})
+	if err := g.SetTransReg(m.ctx, slot, guarder.TransReg{VBase: vbase, PBase: pbase, Size: size, Valid: true}); err != nil {
+		return err
+	}
+	m.note(TrMapOK)
+	return nil
 }
 
 // Task returns a loaded/queued task by ID.

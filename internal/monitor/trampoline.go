@@ -87,8 +87,22 @@ type Reply struct {
 }
 
 // Dispatch executes one trampoline call against the monitor. It is
-// the single untrusted entry point.
+// the single untrusted entry point. Every call lands one outcome bit
+// in the transition-coverage bitmap: bit 2*(f-1) for FuncID f
+// returning ok, bit 2*(f-1)+1 for f returning an error.
 func (m *Monitor) Dispatch(c Call) Reply {
+	rep := m.dispatch(c)
+	if c.Func >= FnSubmit && c.Func <= FnPreempt {
+		bit := uint(2 * (c.Func - FnSubmit))
+		if rep.Err != nil {
+			bit++
+		}
+		m.note(bit)
+	}
+	return rep
+}
+
+func (m *Monitor) dispatch(c Call) Reply {
 	switch c.Func {
 	case FnSubmit:
 		id, err := m.Submit(TaskSpec{

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/sim"
 )
@@ -18,6 +19,20 @@ type Decision struct {
 	Tenant string    `json:"tenant"`
 	Model  string    `json:"model"`
 	Detail string    `json:"detail,omitempty"`
+}
+
+// DecisionHash folds the rendered decision log into a stable 64-bit
+// FNV-1a digest. The fuzz campaign feeds this back to the coverage
+// engine: two runs with the same hash took the same scheduling path,
+// so novel hashes mark novel interleavings worth keeping in the
+// corpus.
+func (r *Report) DecisionHash() uint64 {
+	h := fnv.New64a()
+	for _, d := range r.Decisions {
+		h.Write([]byte(d.String()))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
 }
 
 // String renders one stable log line.

@@ -6,6 +6,7 @@ import (
 
 	snpu "repro"
 	"repro/internal/sched"
+	"repro/internal/schedgen"
 	"repro/internal/sim"
 )
 
@@ -28,11 +29,8 @@ func runTrace(t *testing.T, seed int64, workers int, sealed map[string][]byte) *
 		t.Fatal(err)
 	}
 	const tenants = 3
-	for ti := 0; ti < tenants; ti++ {
-		keyID := fmt.Sprintf("t%d-key", ti)
-		if err := sys.ProvisionKey(keyID, snpu.ChaosKey(seed+int64(ti))); err != nil {
-			t.Fatal(err)
-		}
+	if err := schedgen.ProvisionKeys(sys, seed, tenants); err != nil {
+		t.Fatal(err)
 	}
 	sc, err := sys.NewScheduler(sched.Config{
 		Cores:   []int{0, 1, 2, 3},
@@ -60,14 +58,9 @@ func runTrace(t *testing.T, seed int64, workers int, sealed map[string][]byte) *
 // leg of a differential comparison.
 func sealedSet(t *testing.T, seed int64) map[string][]byte {
 	t.Helper()
-	out := map[string][]byte{}
-	for ti := 0; ti < 3; ti++ {
-		keyID := fmt.Sprintf("t%d-key", ti)
-		blob, err := snpu.SealModel(snpu.ChaosKey(seed+int64(ti)), []byte("determinism model"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		out[keyID] = blob
+	out, err := schedgen.SealedSet(seed, 3, []byte("determinism model"))
+	if err != nil {
+		t.Fatal(err)
 	}
 	return out
 }

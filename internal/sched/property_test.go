@@ -13,7 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/npu"
 	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/schedgen"
 	"repro/internal/spad"
 	"repro/internal/tee"
 	"repro/internal/workload"
@@ -38,7 +38,9 @@ import (
 
 const propertySchedules = 200
 
-var propModels = []string{"mobilenet", "yololite"}
+// propModels aliases the shared generator's pool: the property suite
+// and the campaign decoder must schedule the same models.
+var propModels = schedgen.Models
 
 // measOf caches one compile per model (the programs are pure functions
 // of the model and config).
@@ -94,24 +96,16 @@ func runPropertySchedule(t *testing.T, seed int64) {
 		sys.InstallFaultPlan(plan)
 	}
 
-	nCores := 1 + rng.Intn(3)
-	cores := make([]int, nCores)
-	for i := range cores {
-		cores[i] = i
-	}
-	tenants := 1 + rng.Intn(3)
-	sealedBy := map[string][]byte{}
-	for ti := 0; ti < tenants; ti++ {
-		keyID := fmt.Sprintf("t%d-key", ti)
-		key := snpu.ChaosKey(seed*31 + int64(ti))
-		if err := sys.ProvisionKey(keyID, key); err != nil {
-			t.Fatal(err)
-		}
-		sealed, err := snpu.SealModel(key, []byte(fmt.Sprintf("prop model %d/%d", seed, ti)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sealedBy[keyID] = sealed
+	// All schedule randomness flows through the shared generator — the
+	// same code path the campaign decoder drives with fuzz bytes.
+	prof := schedgen.DefaultProfile()
+	cores := schedgen.Cores(rng, prof)
+	tenants := schedgen.Tenants(rng, prof)
+	sealedBy, err := schedgen.ProvisionTenants(sys, seed, tenants, func(ti int) []byte {
+		return []byte(fmt.Sprintf("prop model %d/%d", seed, ti))
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 
 	// Position-dependent pattern: consecutive bytes always differ, so a
@@ -127,43 +121,17 @@ func runPropertySchedule(t *testing.T, seed int64) {
 	// retries with backoff and bounded per-tenant queues. The planted
 	// secret must stay unreadable across retry and shed transitions
 	// exactly as across preempts and aborts.
-	cfg := sched.Config{
-		Cores:      cores,
-		MaxBatch:   1 + rng.Intn(4),
-		OnDecision: probe.onDecision,
-	}
-	if rng.Intn(2) == 0 {
-		cfg.MaxRestarts = 1 + rng.Intn(2)
-	}
-	if rng.Intn(3) == 0 {
-		cfg.MaxQueuePerTenant = 2 + rng.Intn(3)
-	}
+	cfg := schedgen.Config(rng, cores)
+	cfg.OnDecision = probe.onDecision
 	sc, err := sys.NewScheduler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	nReq := 3 + rng.Intn(6)
 	secureModels := map[string]bool{}
-	var arrival int64
-	for id := 1; id <= nReq; id++ {
-		arrival += rng.Int63n(2_000_000)
-		ti := rng.Intn(tenants)
-		r := sched.Request{
-			ID:       id,
-			Tenant:   fmt.Sprintf("t%d", ti),
-			Model:    propModels[rng.Intn(len(propModels))],
-			Priority: sched.Priority(rng.Intn(3)),
-			Arrival:  sim.Cycle(arrival),
-		}
-		if rng.Float64() < 0.6 {
-			r.Secure = true
-			r.KeyID = fmt.Sprintf("t%d-key", ti)
-			r.Sealed = sealedBy[r.KeyID]
+	for _, r := range schedgen.Requests(rng, prof, tenants, sealedBy) {
+		if r.Secure {
 			secureModels[r.Model] = true
-		}
-		if rng.Float64() < 0.25 {
-			r.Deadline = r.Arrival + 1_000_000 + sim.Cycle(rng.Int63n(10_000_000))
 		}
 		if err := sc.Submit(r); err != nil && !errors.Is(err, sched.ErrQueueFull) {
 			t.Fatal(err)

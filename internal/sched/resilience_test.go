@@ -14,6 +14,7 @@ import (
 	snpu "repro"
 	"repro/internal/fault"
 	"repro/internal/sched"
+	"repro/internal/schedgen"
 	"repro/internal/sim"
 )
 
@@ -150,6 +151,68 @@ func TestSchedulerFaultAbortRetryableWithoutBudget(t *testing.T) {
 	}
 	if r.Err != sched.ErrTaskAborted.Error() {
 		t.Fatalf("abort error not opaque: %q", r.Err)
+	}
+}
+
+// An explicit zero restart budget with a configured backoff behaves
+// exactly like the default: the backoff knob is inert, the first fault
+// aborts terminally, and the opaque sentinel is all the client sees.
+func TestSchedulerZeroRetryBudgetIgnoresBackoff(t *testing.T) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hangStorm(sys, 4000, 50_000)
+	sc, err := sys.NewScheduler(sched.Config{Cores: []int{0}, MaxRestarts: 0, RetryBackoff: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitSecure(t, sc, sys, 1, "a", "mobilenet", nil)
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ResultByID(1)
+	if !r.Aborted || r.Retries != 0 || !r.Retryable {
+		t.Fatalf("want terminal retryable abort with 0 retries, got %+v", r)
+	}
+	if r.Err != sched.ErrTaskAborted.Error() {
+		t.Fatalf("abort error not opaque: %q", r.Err)
+	}
+	if strings.Contains(rep.DecisionLog(), "retry") {
+		t.Fatalf("zero budget logged a retry:\n%s", rep.DecisionLog())
+	}
+}
+
+// All queued requests at the lowest priority: the shed victim is the
+// latest arrival (not the highest id), end to end through Submit.
+func TestSchedulerShedTieBreakLatestArrival(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxQueuePerTenant: 2})
+	// id 5 arrives first, id 3 later — both priority 0. The victim must
+	// be id 3 (latest arrival), even though 5 is the higher id.
+	if err := sc.Submit(sched.Request{ID: 5, Tenant: "a", Model: "mobilenet", Arrival: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{ID: 3, Tenant: "a", Model: "mobilenet", Arrival: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{ID: 9, Tenant: "a", Model: "mobilenet", Arrival: 200, Priority: 1}); err != nil {
+		t.Fatalf("priority arrival refused: %v", err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.ResultByID(3); !r.Shed {
+		t.Fatalf("req 3 = %+v, want shed\n%s", r, rep.DecisionLog())
+	}
+	for _, id := range []int{5, 9} {
+		if r := rep.ResultByID(id); !r.Completed {
+			t.Fatalf("req %d = %+v, want completed\n%s", id, r, rep.DecisionLog())
+		}
+	}
+	if !strings.Contains(rep.DecisionLog(), "shed") || !strings.Contains(rep.DecisionLog(), "for req 9") {
+		t.Fatalf("shed decision missing or unattributed:\n%s", rep.DecisionLog())
 	}
 }
 
@@ -308,11 +371,8 @@ func runResilientTrace(t *testing.T, seed int64, workers int, sealed map[string]
 	}
 	sys.InstallFaultPlan(fault.Generate(seed, 200_000_000, fault.TransientRates(25)))
 	const tenants = 3
-	for ti := 0; ti < tenants; ti++ {
-		keyID := fmt.Sprintf("t%d-key", ti)
-		if err := sys.ProvisionKey(keyID, snpu.ChaosKey(seed+int64(ti))); err != nil {
-			t.Fatal(err)
-		}
+	if err := schedgen.ProvisionKeys(sys, seed, tenants); err != nil {
+		t.Fatal(err)
 	}
 	sc, err := sys.NewScheduler(sched.Config{
 		Cores:             []int{0, 1, 2, 3},
