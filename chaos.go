@@ -151,10 +151,11 @@ func (row *ChaosRow) fill(rep SecureRunReport, snap map[string]int64) {
 // chaosRun boots a fresh protected SoC, arms it with the plan, and
 // runs one resilient secure inference.
 func chaosRun(model string, seed int64, plan fault.Plan) (SecureRunReport, map[string]int64, error) {
-	sys, err := New(DefaultConfig())
+	sys, err := acquireSystem(DefaultConfig())
 	if err != nil {
 		return SecureRunReport{}, nil, err
 	}
+	defer sys.release()
 	key := ChaosKey(seed)
 	if err := sys.ProvisionKey("chaos-owner", key); err != nil {
 		return SecureRunReport{}, nil, err

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	snpu "repro"
 	"repro/internal/experiments"
+	"repro/internal/npu"
 )
 
 // The -bench-json perf snapshot: wall-time per experiment, cells/sec,
@@ -32,6 +34,11 @@ type BenchExperiment struct {
 	// runtime.MemStats.Mallocs / TotalAlloc).
 	Allocs     uint64 `json:"allocs"`
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// AllocsPerCell / AllocBytesPerCell normalize the churn per
+	// experiment cell (zero when the experiment has no cell notion).
+	// These are the alloc-budget numbers the CI gate tracks.
+	AllocsPerCell     float64 `json:"allocs_per_cell"`
+	AllocBytesPerCell float64 `json:"alloc_bytes_per_cell"`
 }
 
 // BenchSnapshot is the whole perf snapshot.
@@ -40,15 +47,32 @@ type BenchSnapshot struct {
 	Date      string `json:"date"`
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
-	// Jobs is the -j worker-pool width of the measured run.
+	// GoMaxProcs is runtime.GOMAXPROCS at snapshot time — on cgroup-
+	// limited CI runners this, not NumCPU, is the real parallelism cap.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Jobs is the -j worker-pool width of the measured run; Workers is
+	// the effective width the cell pool actually used.
 	Jobs        int               `json:"jobs"`
+	Workers     int               `json:"workers"`
 	Experiments []BenchExperiment `json:"experiments"`
 	TotalWallNS int64             `json:"total_wall_ns"`
 	// SeqTotalWallNS is the sequential (-j 1) reference total, present
-	// when the snapshot was taken with -bench-compare.
+	// when the run measured a reference pass.
 	SeqTotalWallNS int64 `json:"seq_total_wall_ns,omitempty"`
-	// Speedup is SeqTotalWallNS / TotalWallNS when both were measured.
-	Speedup float64 `json:"speedup,omitempty"`
+	// SeqExperiments are the reference pass's per-experiment
+	// measurements. Their alloc numbers are scheduling-independent
+	// (one worker, cold pools), so the allocs/cell CI gate compares
+	// these rather than the parallel pass's (whose pool-miss count
+	// varies with worker interleaving).
+	SeqExperiments []BenchExperiment `json:"seq_experiments,omitempty"`
+	// Speedup is SeqTotalWallNS / TotalWallNS; 1 by definition for a
+	// -j 1 run. Always emitted — the CI speedup gate reads it.
+	Speedup float64 `json:"speedup"`
+	// Pool and compile-cache traffic over the whole run (hits = reuse).
+	PoolHits           uint64 `json:"pool_hits"`
+	PoolMisses         uint64 `json:"pool_misses"`
+	CompileCacheHits   uint64 `json:"compile_cache_hits"`
+	CompileCacheMisses uint64 `json:"compile_cache_misses"`
 	// MetricsOverheadPct is the observability layer's measured
 	// enabled-vs-disabled wall-time overhead in percent, present when
 	// the snapshot was taken with -metrics-overhead. CI gates it at
@@ -119,22 +143,41 @@ func measureExperiment(spec expSpec, opts options) (BenchExperiment, []section, 
 	if wall > 0 {
 		m.CellsPerSec = float64(m.Cells) / wall.Seconds()
 	}
+	if m.Cells > 0 {
+		m.AllocsPerCell = float64(m.Allocs) / float64(m.Cells)
+		m.AllocBytesPerCell = float64(m.AllocBytes) / float64(m.Cells)
+	}
 	return m, sections, nil
 }
 
 // newSnapshot assembles the snapshot from per-experiment measurements.
-func newSnapshot(jobs int, measured []BenchExperiment, seqTotalNS int64) BenchSnapshot {
+// seqMeasured is the sequential reference pass (nil for a -j 1 run,
+// where the main pass IS sequential and speedup is 1 by definition).
+func newSnapshot(jobs int, measured, seqMeasured []BenchExperiment) BenchSnapshot {
 	snap := BenchSnapshot{
-		Schema:      benchSchema,
-		Date:        time.Now().UTC().Format("2006-01-02"),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		Jobs:        jobs,
-		Experiments: measured,
-		Resilience:  lastResilience,
+		Schema:         benchSchema,
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Jobs:           jobs,
+		Workers:        experiments.Workers(),
+		Experiments:    measured,
+		SeqExperiments: seqMeasured,
+		Speedup:        1,
+		Resilience:     lastResilience,
 	}
+	socHits, socMisses := experiments.PoolCounters()
+	sysHits, sysMisses := snpu.SystemPoolCounters()
+	snap.PoolHits = socHits + sysHits
+	snap.PoolMisses = socMisses + sysMisses
+	snap.CompileCacheHits, snap.CompileCacheMisses = npu.ProgCacheCounters()
 	for _, m := range measured {
 		snap.TotalWallNS += m.WallNS
+	}
+	var seqTotalNS int64
+	for _, m := range seqMeasured {
+		seqTotalNS += m.WallNS
 	}
 	if seqTotalNS > 0 {
 		snap.SeqTotalWallNS = seqTotalNS
@@ -197,4 +240,79 @@ func compareSnapshots(baseline BenchSnapshot, measured []BenchExperiment) []stri
 		}
 	}
 	return out
+}
+
+// The allocs/cell gate: fig1 is the canary experiment whose per-cell
+// allocation budget CI tracks, with 10% headroom. Alloc counts are
+// compared between sequential passes (one worker, cold pools) because
+// the parallel pass's pool-miss count varies with worker interleaving.
+const (
+	allocGateExperiment = "fig1"
+	allocGateTolerance  = 1.10
+)
+
+// allocPass picks the scheduling-independent measurement for name: the
+// sequential reference pass when the snapshot has one, else the main
+// pass (which for a -j 1 snapshot is already sequential).
+func allocPass(snap BenchSnapshot, name string) (BenchExperiment, bool) {
+	for _, set := range [][]BenchExperiment{snap.SeqExperiments, snap.Experiments} {
+		for _, e := range set {
+			if e.Name == name && e.Cells > 0 && e.AllocsPerCell > 0 {
+				return e, true
+			}
+		}
+	}
+	return BenchExperiment{}, false
+}
+
+// allocRegression reports a non-empty message when the measured
+// snapshot's fig1 allocs/cell regressed more than allocGateTolerance
+// over the baseline's. Baselines without per-cell data (pre-speedup
+// schema) skip the gate.
+func allocRegression(baseline, snap BenchSnapshot) string {
+	base, ok := allocPass(baseline, allocGateExperiment)
+	if !ok {
+		return ""
+	}
+	now, ok := allocPass(snap, allocGateExperiment)
+	if !ok {
+		return fmt.Sprintf("%s: no allocs/cell measurement to compare against baseline", allocGateExperiment)
+	}
+	if now.AllocsPerCell > allocGateTolerance*base.AllocsPerCell {
+		return fmt.Sprintf("%s: %.0f allocs/cell vs baseline %.0f (>%d%%)",
+			allocGateExperiment, now.AllocsPerCell, base.AllocsPerCell,
+			int(allocGateTolerance*100)-100)
+	}
+	return ""
+}
+
+// comparisonTable renders a markdown table of this run against the
+// baseline — the artifact CI uploads alongside the snapshot.
+func comparisonTable(baseline, snap BenchSnapshot) string {
+	base := make(map[string]BenchExperiment, len(baseline.Experiments))
+	for _, e := range baseline.Experiments {
+		base[e.Name] = e
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# snpu-bench comparison\n\n")
+	fmt.Fprintf(&b, "- baseline: %s (%s, %d CPUs, -j %d)\n", baseline.Date, baseline.GoVersion, baseline.NumCPU, baseline.Jobs)
+	fmt.Fprintf(&b, "- this run: %s (%s, %d CPUs, GOMAXPROCS %d, -j %d, %d workers)\n",
+		snap.Date, snap.GoVersion, snap.NumCPU, snap.GoMaxProcs, snap.Jobs, snap.Workers)
+	fmt.Fprintf(&b, "- speedup: %.2f (baseline %.2f)\n", snap.Speedup, baseline.Speedup)
+	fmt.Fprintf(&b, "- pool hits/misses: %d/%d; compile cache %d/%d\n\n",
+		snap.PoolHits, snap.PoolMisses, snap.CompileCacheHits, snap.CompileCacheMisses)
+	fmt.Fprintf(&b, "| experiment | wall ms | baseline ms | ratio | allocs/cell | baseline |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|\n")
+	for _, m := range snap.Experiments {
+		bl, ok := base[m.Name]
+		ratio, blMS, blAllocs := "-", "-", "-"
+		if ok && bl.WallNS > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(m.WallNS)/float64(bl.WallNS))
+			blMS = fmt.Sprintf("%.0f", float64(bl.WallNS)/1e6)
+			blAllocs = fmt.Sprintf("%.0f", bl.AllocsPerCell)
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %s | %s | %.0f | %s |\n",
+			m.Name, float64(m.WallNS)/1e6, blMS, ratio, m.AllocsPerCell, blAllocs)
+	}
+	return b.String()
 }

@@ -247,8 +247,10 @@ func main() {
 	small := flag.Bool("small", false, "shrink randomized sweeps (resilience) for CI smoke jobs")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiment-cell worker pool width; output is identical for any value")
 	benchJSON := flag.String("bench-json", "", "write a perf snapshot (wall-time per experiment, cells/sec, allocs) to this file")
-	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: also run sequentially first and record the -j speedup")
-	benchAgainst := flag.String("bench-against", "", "compare wall-times against a committed snapshot; exit 1 on a >2x regression")
+	benchCompare := flag.Bool("bench-compare", false, "with -bench-json: force the sequential reference pass even at -j 1")
+	benchAgainst := flag.String("bench-against", "", "compare wall-times and fig1 allocs/cell against a committed snapshot; exit 1 on regression")
+	benchTable := flag.String("bench-table", "", "with -bench-against: write a markdown comparison table to this file")
+	gateSpeedup := flag.Float64("gate-speedup", 0, "fail if the measured -j speedup is below this (0 disables; skipped when NumCPU < 4)")
 	metricsDir := flag.String("metrics-dir", "", "write per-experiment metrics (Prometheus text + JSON) into this directory")
 	metricsOverhead := flag.Bool("metrics-overhead", false, "measure the observability layer's enabled-vs-disabled overhead; exit 1 above 2%")
 	flag.Parse()
@@ -269,17 +271,16 @@ func main() {
 	}
 	opts := options{exp: *exp, models: models, markdown: *markdown, seed: *seed, small: *small}
 
-	var seqTotal int64
-	if *benchCompare && *benchJSON != "" {
+	var seqMeasured []BenchExperiment
+	if *benchJSON != "" && (*jobs > 1 || *benchCompare) {
 		// Sequential reference pass: same cells, pool width 1, output
 		// discarded (it is byte-identical by the determinism contract).
+		// It runs first, on cold pools, so its alloc counts are
+		// scheduling-independent — the allocs/cell gate compares these.
 		experiments.SetWorkers(1)
-		seqMeasured, err := runSuite(io.Discard, opts)
+		seqMeasured, err = runSuite(io.Discard, opts)
 		if err != nil {
 			fatal(err)
-		}
-		for _, m := range seqMeasured {
-			seqTotal += m.WallNS
 		}
 	}
 
@@ -309,11 +310,11 @@ func main() {
 			pct, metricsOverheadLimitPct)
 	}
 
+	snap := newSnapshot(*jobs, measured, seqMeasured)
+	if *metricsOverhead {
+		snap.MetricsOverheadPct = overheadPct
+	}
 	if *benchJSON != "" {
-		snap := newSnapshot(*jobs, measured, seqTotal)
-		if *metricsOverhead {
-			snap.MetricsOverheadPct = overheadPct
-		}
 		if err := writeSnapshot(*benchJSON, snap); err != nil {
 			fatal(err)
 		}
@@ -323,13 +324,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if regressions := compareSnapshots(baseline, measured); len(regressions) > 0 {
+		if *benchTable != "" {
+			if err := os.WriteFile(*benchTable, []byte(comparisonTable(baseline, snap)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		regressions := compareSnapshots(baseline, measured)
+		if msg := allocRegression(baseline, snap); msg != "" {
+			regressions = append(regressions, msg)
+		}
+		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(os.Stderr, "snpu-bench: REGRESSION:", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "snpu-bench: no wall-time regressions vs", *benchAgainst)
+		fmt.Fprintln(os.Stderr, "snpu-bench: no regressions vs", *benchAgainst)
+	}
+	if *gateSpeedup > 0 {
+		switch {
+		case runtime.NumCPU() < 4:
+			fmt.Fprintf(os.Stderr, "snpu-bench: speedup gate skipped (%d CPUs < 4)\n", runtime.NumCPU())
+		case len(seqMeasured) == 0:
+			fmt.Fprintln(os.Stderr, "snpu-bench: speedup gate skipped (no sequential reference pass; need -bench-json and -j > 1)")
+		case snap.Speedup < *gateSpeedup:
+			fmt.Fprintf(os.Stderr, "snpu-bench: REGRESSION: -j %d speedup %.2f below gate %.2f\n",
+				*jobs, snap.Speedup, *gateSpeedup)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "snpu-bench: -j %d speedup %.2f meets gate %.2f\n",
+				*jobs, snap.Speedup, *gateSpeedup)
+		}
 	}
 	if overheadPct > metricsOverheadLimitPct {
 		fmt.Fprintf(os.Stderr, "snpu-bench: REGRESSION: metrics overhead %.2f%% exceeds the %.1f%% budget\n",

@@ -92,12 +92,23 @@ func TestBenchSnapshotRoundTrip(t *testing.T) {
 		{Name: "fig13", WallNS: 2e9, Cells: 36, CellsPerSec: 18},
 		{Name: "fig16", WallNS: 1e6, Cells: 6},
 	}
-	snap := newSnapshot(4, measured, 4e9)
+	seq := []BenchExperiment{
+		{Name: "fig13", WallNS: 4e9 - 1e6, Cells: 36},
+		{Name: "fig16", WallNS: 1e6, Cells: 6},
+	}
+	snap := newSnapshot(4, measured, seq)
 	if snap.TotalWallNS != 2e9+1e6 {
 		t.Fatalf("TotalWallNS = %d", snap.TotalWallNS)
 	}
 	if snap.Speedup < 1.9 || snap.Speedup > 2.1 {
 		t.Fatalf("Speedup = %v, want ~2", snap.Speedup)
+	}
+	if snap.GoMaxProcs <= 0 || snap.Workers <= 0 {
+		t.Fatalf("snapshot missing scheduler metadata: gomaxprocs=%d workers=%d",
+			snap.GoMaxProcs, snap.Workers)
+	}
+	if len(snap.SeqExperiments) != 2 {
+		t.Fatalf("SeqExperiments = %d entries, want 2", len(snap.SeqExperiments))
 	}
 	path := t.TempDir() + "/BENCH_test.json"
 	if err := writeSnapshot(path, snap); err != nil {
@@ -123,6 +134,72 @@ func TestBenchSnapshotRoundTrip(t *testing.T) {
 	}
 	if regs := compareSnapshots(back, measured); len(regs) != 0 {
 		t.Fatalf("same timings flagged as regression: %v", regs)
+	}
+}
+
+// TestNewSnapshotNoSeqPass pins the -j 1 default: with no sequential
+// reference pass, speedup is emitted as the neutral 1 (the field is
+// always present in the JSON), and SeqExperiments stays empty.
+func TestNewSnapshotNoSeqPass(t *testing.T) {
+	snap := newSnapshot(1, []BenchExperiment{{Name: "fig16", WallNS: 1e6, Cells: 6}}, nil)
+	if snap.Speedup != 1 {
+		t.Fatalf("Speedup = %v, want 1 when no reference pass ran", snap.Speedup)
+	}
+	if snap.SeqTotalWallNS != 0 || len(snap.SeqExperiments) != 0 {
+		t.Fatalf("unexpected sequential data: %+v", snap)
+	}
+}
+
+// TestAllocRegressionGate covers the fig1 allocs/cell gate: it prefers
+// the sequential pass, trips only past the 10% headroom, and skips
+// silently against pre-speedup baselines that lack per-cell data.
+func TestAllocRegressionGate(t *testing.T) {
+	baseline := BenchSnapshot{SeqExperiments: []BenchExperiment{
+		{Name: "fig1", Cells: 6, AllocsPerCell: 1000},
+	}}
+	ok := BenchSnapshot{
+		// A noisy parallel pass must not shadow the clean sequential one.
+		Experiments:    []BenchExperiment{{Name: "fig1", Cells: 6, AllocsPerCell: 5000}},
+		SeqExperiments: []BenchExperiment{{Name: "fig1", Cells: 6, AllocsPerCell: 1050}},
+	}
+	if msg := allocRegression(baseline, ok); msg != "" {
+		t.Fatalf("5%% growth tripped the gate: %s", msg)
+	}
+	bad := BenchSnapshot{SeqExperiments: []BenchExperiment{
+		{Name: "fig1", Cells: 6, AllocsPerCell: 1200},
+	}}
+	if msg := allocRegression(baseline, bad); !strings.Contains(msg, "fig1") {
+		t.Fatalf("20%% growth passed the gate: %q", msg)
+	}
+	if msg := allocRegression(BenchSnapshot{}, bad); msg != "" {
+		t.Fatalf("gate ran against a baseline without per-cell data: %s", msg)
+	}
+	if msg := allocRegression(baseline, BenchSnapshot{}); !strings.Contains(msg, "no allocs/cell") {
+		t.Fatalf("missing measurement not reported: %q", msg)
+	}
+}
+
+// TestComparisonTable sanity-checks the CI artifact renderer: one row
+// per measured experiment, with ratios against matching baseline rows
+// and dashes where the baseline has no counterpart.
+func TestComparisonTable(t *testing.T) {
+	baseline := BenchSnapshot{
+		Date:        "2026-01-01",
+		Experiments: []BenchExperiment{{Name: "fig13", WallNS: 2e9, AllocsPerCell: 10}},
+	}
+	snap := BenchSnapshot{
+		Date:    "2026-02-01",
+		Speedup: 1.7,
+		Experiments: []BenchExperiment{
+			{Name: "fig13", WallNS: 1e9, AllocsPerCell: 9},
+			{Name: "fig16", WallNS: 1e6},
+		},
+	}
+	table := comparisonTable(baseline, snap)
+	for _, want := range []string{"| fig13 |", "0.50", "| fig16 |", "| - |", "speedup: 1.70"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("comparison table missing %q:\n%s", want, table)
+		}
 	}
 }
 

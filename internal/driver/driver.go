@@ -51,6 +51,16 @@ func New(cfg npu.Config, reservedBase mem.PhysAddr, reservedSize uint64, stats *
 	}
 }
 
+// Reset returns the driver to its freshly constructed state: the
+// reserved-memory allocator is emptied and task IDs restart at 1, so
+// a recycled System submits tasks with the same IDs, layouts, and
+// chunk addresses a fresh boot would — the determinism half of the
+// pooling contract.
+func (d *Driver) Reset() {
+	d.reserved.Reset()
+	d.nextID = 1
+}
+
 // Reserved exposes the reserved-memory allocator.
 func (d *Driver) Reserved() *mem.ContigAlloc { return d.reserved }
 
@@ -60,7 +70,7 @@ func (d *Driver) Reserved() *mem.ContigAlloc { return d.reserved }
 // alias in the access-control hardware.
 func (d *Driver) Submit(w workload.Workload, spadBudget int, secure bool) (*Task, error) {
 	layout := LayoutFor(d.nextID)
-	prog, _, err := npu.Compile(w, d.cfg, spadBudget, layout)
+	prog, _, err := npu.CompileCached(w, d.cfg, spadBudget, layout)
 	if err != nil {
 		return nil, err
 	}

@@ -116,11 +116,11 @@ func runSplit(n *npu.NPU, modelA, modelB workload.Workload, name string, fracA f
 	cfg := n.Config()
 	budgetA := int(float64(cfg.SpadBytes) * fracA)
 	budgetB := cfg.SpadBytes - budgetA
-	progA, _, err := npu.Compile(modelA, cfg, budgetA, npu.DefaultLayout)
+	progA, _, err := npu.CompileCached(modelA, cfg, budgetA, npu.DefaultLayout)
 	if err != nil {
 		return SpatialResult{}, fmt.Errorf("driver: compile %s@%.2f: %w", modelA.Name, fracA, err)
 	}
-	progB, _, err := npu.Compile(modelB, cfg, budgetB, npu.DefaultLayout)
+	progB, _, err := npu.CompileCached(modelB, cfg, budgetB, npu.DefaultLayout)
 	if err != nil {
 		return SpatialResult{}, fmt.Errorf("driver: compile %s@%.2f: %w", modelB.Name, 1-fracA, err)
 	}

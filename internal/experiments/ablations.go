@@ -84,7 +84,7 @@ func AblationSpadBudget(model string, cfg npu.Config) (*AblationResult, error) {
 	res := &AblationResult{Name: "spad-budget/" + model}
 	for _, frac := range []float64{0.125, 0.25, 0.5, 0.75, 1.0} {
 		budget := int(float64(cfg.SpadBytes) * frac)
-		_, st, err := npu.Compile(w, cfg, budget, npu.DefaultLayout)
+		_, st, err := npu.CompileCached(w, cfg, budget, npu.DefaultLayout)
 		if err != nil {
 			return nil, err
 		}
@@ -279,10 +279,11 @@ func AblationPreemption(model string, cfg npu.Config) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	soc, err := NewSoC(cfg, nil)
+	soc, err := AcquireSoC(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer soc.Release()
 	d := driver.New(cfg, ReservedBase, ReservedSize, soc.Stats)
 	low, err := d.Submit(w, 0, false)
 	if err != nil {

@@ -95,11 +95,12 @@ func Fig13Mechanisms() []Mechanism {
 // runs it alone on core 0, returning the cycle count and the final
 // stats snapshot.
 func RunSolo(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycle, map[string]int64, error) {
-	soc, err := NewSoC(cfg, nil)
+	soc, err := AcquireSoC(cfg)
 	if err != nil {
 		return 0, nil, err
 	}
-	prog, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+	defer soc.Release()
+	prog, _, err := npu.CompileCached(w, cfg, 0, npu.DefaultLayout)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -115,7 +116,8 @@ func RunSolo(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycle, ma
 	if err != nil {
 		return 0, nil, err
 	}
-	return end, soc.Stats.Snapshot(), nil
+	snap := soc.Stats.Snapshot()
+	return end, snap, nil
 }
 
 // CompanionLayout places a second task's VA window away from the
@@ -131,15 +133,16 @@ var CompanionLayout = npu.Layout{WeightBase: 0x4000_0000}
 // is per-core register state, so it suffers no such interference.
 // Returns core 0's finish cycle and the stats snapshot.
 func RunContended(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycle, map[string]int64, error) {
-	soc, err := NewSoC(cfg, nil)
+	soc, err := AcquireSoC(cfg)
 	if err != nil {
 		return 0, nil, err
 	}
-	prog0, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+	defer soc.Release()
+	prog0, _, err := npu.CompileCached(w, cfg, 0, npu.DefaultLayout)
 	if err != nil {
 		return 0, nil, err
 	}
-	prog1, _, err := npu.Compile(w, cfg, 0, CompanionLayout)
+	prog1, _, err := npu.CompileCached(w, cfg, 0, CompanionLayout)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -176,7 +179,8 @@ func RunContended(w workload.Workload, mech Mechanism, cfg npu.Config) (sim.Cycl
 		}
 		now1 = end
 	}
-	return end0, soc.Stats.Snapshot(), nil
+	snap := soc.Stats.Snapshot()
+	return end0, snap, nil
 }
 
 // installShared wires the mechanism for the contended pair. For an

@@ -32,7 +32,7 @@ func Fig1(models []workload.Workload, cfg npu.Config) (*Fig1Result, error) {
 		if err != nil {
 			return Fig1Row{}, fmt.Errorf("fig1 %s: %w", w.Name, err)
 		}
-		prog, _, err := npu.Compile(w, cfg, 0, npu.DefaultLayout)
+		prog, _, err := npu.CompileCached(w, cfg, 0, npu.DefaultLayout)
 		if err != nil {
 			return Fig1Row{}, err
 		}

@@ -40,10 +40,11 @@ var fig14Grans = []spad.FlushGranularity{
 func Fig14(models []workload.Workload, cfg npu.Config) (*Fig14Result, error) {
 	res := &Fig14Result{}
 	run := func(w workload.Workload, gran spad.FlushGranularity, flush bool) (sim.Cycle, error) {
-		soc, err := NewSoC(cfg, nil)
+		soc, err := AcquireSoC(cfg)
 		if err != nil {
 			return 0, err
 		}
+		defer soc.Release()
 		d := driver.New(cfg, ReservedBase, ReservedSize, soc.Stats)
 		t1, err := d.Submit(w, 0, true)
 		if err != nil {

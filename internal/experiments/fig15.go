@@ -97,10 +97,11 @@ func Fig15(cfg npu.Config) (*Fig15Result, error) {
 			return Fig15Row{}, err
 		}
 		soloA, soloB := solo[grp.Trusted], solo[grp.Untrusted]
-		soc, err := NewSoC(cfg, nil)
+		soc, err := AcquireSoC(cfg)
 		if err != nil {
 			return Fig15Row{}, err
 		}
+		defer soc.Release()
 		r, err := driver.RunSpatialPair(soc.NPU, wa, wb, pol, soloA, soloB)
 		if err != nil {
 			return Fig15Row{}, fmt.Errorf("fig15 %s+%s/%s: %w", grp.Trusted, grp.Untrusted, pol.Name, err)

@@ -52,10 +52,11 @@ func Fig17(models []workload.Workload, cfg npu.Config) (*Fig17Result, error) {
 		w, method := models[i/len(fig17Methods)], fig17Methods[i%len(fig17Methods)]
 		mcfg := cfg
 		mcfg.Peephole = method.peephole
-		soc, err := NewSoC(mcfg, nil)
+		soc, err := AcquireSoC(mcfg)
 		if err != nil {
 			return Fig17Row{}, err
 		}
+		defer soc.Release()
 		// A 2x2 block on the 5-wide mesh: cores 0,1 (row 0) and
 		// 5,6 (row 1).
 		coreIDs := []int{0, 1, 5, 6}

@@ -30,6 +30,16 @@ func CollectSoCStats(on bool) {
 	collect.sinks = nil
 }
 
+// CollectingSoCStats reports whether a collection window is open.
+// Pool layers (the SoC pool here, the System pool at the repo root)
+// check it to fall back to fresh boots, since collection counts one
+// sink per boot.
+func CollectingSoCStats() bool {
+	collect.mu.Lock()
+	defer collect.mu.Unlock()
+	return collect.enabled
+}
+
 // RecordSoCStats registers one booted SoC's counter sink with the
 // collector (no-op while collection is off). Every SoC constructor —
 // NewSoC here and snpu.New — calls it, so a collection window sees

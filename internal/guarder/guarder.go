@@ -83,6 +83,17 @@ type Guarder struct {
 	ProgramWrites uint64
 }
 
+// Reset clears both register files and the write counter — the
+// power-on state of the per-core checking/translation hardware. A
+// pooled System recycles its Guarders in place (they are wired into
+// each core's DMA path at construction), so reset must leave no
+// window from the previous tenant programmed.
+func (g *Guarder) Reset() {
+	clear(g.checks)
+	clear(g.trans)
+	g.ProgramWrites = 0
+}
+
 // New builds a Guarder with the given register-file sizes.
 func New(checkRegs, transRegs int, stats *sim.Stats) *Guarder {
 	return &Guarder{

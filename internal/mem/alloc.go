@@ -104,6 +104,18 @@ func (a *ContigAlloc) Free(addr PhysAddr) error {
 	return nil
 }
 
+// Reset returns the allocator to its freshly constructed state: every
+// live allocation is discarded and the full range becomes one free
+// span. Used when a pooled System is recycled — the driver's and
+// monitor's allocators restart with deterministic (empty) occupancy so
+// a reused instance places chunks at the same addresses a fresh boot
+// would.
+func (a *ContigAlloc) Reset() {
+	a.free = a.free[:0]
+	a.free = append(a.free, span{a.base, a.size})
+	clear(a.used)
+}
+
 // FreeBytes reports the total unallocated bytes.
 func (a *ContigAlloc) FreeBytes() uint64 {
 	var total uint64
@@ -185,6 +197,13 @@ func (s *SlotAlloc) Free(addr PhysAddr) error {
 	}
 	s.inUse[idx] = false
 	return nil
+}
+
+// Reset releases every slot and restores the first-fit scan origin, so
+// a recycled monitor allocates the same slot sequence as a fresh one.
+func (s *SlotAlloc) Reset() {
+	clear(s.inUse)
+	s.nextHint = 0
 }
 
 // InUse reports the number of allocated slots.

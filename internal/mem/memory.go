@@ -61,6 +61,20 @@ func NewPhysical() *Physical {
 	return &Physical{pages: make(map[uint64][]byte)}
 }
 
+// Reset power-cycles the memory for arena-style reuse: every backing
+// page is dropped (reads return zero again), injected ECC damage and
+// the ECC enable flag are cleared. The region map — the SoC's static
+// partition, fixed at boot — is kept, which is exactly what makes a
+// pooled reuse cheaper than a rebuild. Dropping pages rather than
+// zeroing them keeps reset O(touched pages) and guarantees no prior
+// tenant's bytes survive.
+func (m *Physical) Reset() {
+	clear(m.pages)
+	m.ecc = false
+	m.eccStats = nil
+	m.faults = nil
+}
+
 // AddRegion registers a region. Regions must not overlap; overlapping
 // registration returns an error.
 func (m *Physical) AddRegion(r Region) error {

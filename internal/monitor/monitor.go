@@ -161,6 +161,24 @@ func New(machine *tee.Machine, acc *npu.NPU, guarders map[int]*guarder.Guarder, 
 	}, nil
 }
 
+// Reset returns the monitor to its just-booted state for pooled
+// System reuse: provisioned keys are destroyed, queued and tracked
+// secure tasks are dropped, the trusted allocator releases every slot,
+// task IDs restart at 1, and the transition-coverage bitmap clears.
+// The caller must re-run SetupPlatform afterwards (System.Reset does)
+// so the guarders' static checking windows are reprogrammed exactly as
+// at boot. Observability attachments are construction-scoped and left
+// to the owner.
+func (m *Monitor) Reset() {
+	clear(m.keys)
+	m.queue = nil
+	clear(m.tasks)
+	m.nextID = 1
+	m.transitions = 0
+	m.alloc.Reset()
+	m.obsCalls, m.obsAborts, m.obsRejects, m.obsPreempts = nil, nil, nil, nil
+}
+
 // ProvisionKey installs a model-sealing key. In a deployment this
 // arrives over an attested channel rooted in the secure-boot report;
 // here the model owner calls it directly against the monitor.

@@ -238,6 +238,24 @@ func NewMesh(cfg Config, stats *sim.Stats) (*Mesh, error) {
 // link chosen by the event's selector.
 func (m *Mesh) AttachInjector(inj *fault.Injector) { m.inj = inj }
 
+// Reset power-cycles the mesh for arena-style reuse: link timing
+// resources return to cycle zero, permanently failed links come back
+// up, receive-channel locks and undelivered inbox packets are dropped,
+// and any fault injector is detached. Topology (links, ordering) and
+// resolved counter handles are construction-time state and survive.
+func (m *Mesh) Reset() {
+	for _, l := range m.links {
+		if l != nil {
+			l.Reset()
+		}
+	}
+	clear(m.dead)
+	m.deadCount = 0
+	clear(m.locks)
+	clear(m.inboxes)
+	m.inj = nil
+}
+
 // AttachObserver wires the mesh into an observability layer: a send
 // span per delivered packet, a noc.link.stall_cycles histogram of
 // per-attempt contention stalls, and a noc.link.occupancy profiling

@@ -61,6 +61,10 @@ type Core struct {
 	stats  *sim.Stats
 	pipe   pipeline
 	inj    *fault.Injector
+	// xl0 is the translator the core booted with; Reset restores it so
+	// a pooled tile sheds whatever mechanism (IOMMU, Guarder) the
+	// previous experiment cell installed.
+	xl0 xlate.Translator
 
 	// Observability: the attached observer (nil = off) and the
 	// pre-resolved compute-tile latency histogram the executor feeds.
@@ -106,6 +110,26 @@ func (c *Core) Observer() *obs.Observer { return c.obs }
 // of an independent measurement run).
 func (c *Core) ResetPipeline() { c.pipe = pipeline{} }
 
+// Reset power-cycles the tile for arena-style reuse: execution units
+// idle, core ID state back to non-secure, both scratchpads scrubbed
+// (payload, tags, valid bits, parity — the same guarantees §IV-B's
+// flush strawman pays for at every context switch, here paid once per
+// pool recycle), the boot translator restored in place of any
+// installed mechanism, and fault injectors/observers detached.
+func (c *Core) Reset() {
+	c.pipe = pipeline{}
+	c.domain = spad.NonSecure
+	c.sp.Reset()
+	c.acc.Reset()
+	c.inj = nil
+	c.dmaEng.AttachInjector(nil)
+	if a, ok := c.dmaEng.Translator().(interface{ AttachInjector(*fault.Injector) }); ok {
+		a.AttachInjector(nil)
+	}
+	c.dmaEng.SetTranslator(c.xl0)
+	c.AttachObserver(nil)
+}
+
 // NewCore assembles one tile. The DMA engine shares the SoC's DRAM
 // channel resource with every other core; the translator is swappable
 // per experiment (none / IOMMU / Guarder).
@@ -140,6 +164,7 @@ func NewCore(id int, coord noc.Coord, cfg Config, channel *sim.Resource, phys *m
 		acc:    acc,
 		dmaEng: dma.New(cfg.DMAConfig(), xl, channel, phys, stats),
 		stats:  stats,
+		xl0:    xl,
 	}
 	if mesh != nil {
 		c.router = noc.NewRouterController(coord, mesh)

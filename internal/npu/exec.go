@@ -37,7 +37,11 @@ type Exec struct {
 	pos  int
 
 	pendingLoads []dma.Request
-	taskID       int
+	// storeReq is the reusable single-descriptor batch for mvout ops:
+	// stores issue one at a time, and building a fresh slice per store
+	// was a per-tile heap allocation on the hot path.
+	storeReq [1]dma.Request
+	taskID   int
 
 	// Trace, when non-nil, records every DMA batch, compute tile, and
 	// store as a timeline event.
@@ -195,13 +199,14 @@ func (e *Exec) RunUntil(from sim.Cycle, boundary Boundary) (sim.Cycle, error) {
 			if at < e.core.pipe.storeFree {
 				at = e.core.pipe.storeFree
 			}
-			done, err := e.core.dmaEng.DoPipelined([]dma.Request{{
+			e.storeReq[0] = dma.Request{
 				VA:     op.VA,
 				Bytes:  op.Bytes,
 				Dir:    dma.ToMemory,
 				World:  e.core.World(),
 				TaskID: e.taskID,
-			}}, nil, e.core.domain, at)
+			}
+			done, err := e.core.dmaEng.DoPipelined(e.storeReq[:], nil, e.core.domain, at)
 			if err != nil {
 				return 0, fmt.Errorf("npu: core %d: %w", e.core.id, err)
 			}

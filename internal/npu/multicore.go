@@ -157,6 +157,23 @@ func (n *NPU) ResetTiming() {
 // L2 returns the shared cache (nil unless Config.UseL2).
 func (n *NPU) L2() *cache.L2 { return n.l2 }
 
+// Reset power-cycles the whole accelerator for arena-style reuse:
+// timing resources (DRAM channel, pipelines, L2), every tile's
+// security and scratchpad state, and the mesh's locks, inboxes, and
+// fault state. After Reset the NPU is observably identical to a
+// freshly assembled one with the same configuration — the pooled
+// SoC contract the fresh-vs-pooled differential pins.
+func (n *NPU) Reset() {
+	n.channel.Reset()
+	if n.l2 != nil {
+		n.l2.Reset()
+	}
+	for _, c := range n.cores {
+		c.Reset()
+	}
+	n.mesh.Reset()
+}
+
 // SetCoreDomains programs a set of cores into a domain via the secure
 // instruction path.
 func (n *NPU) SetCoreDomains(ctx tee.Context, cores []int, d spad.DomainID) error {

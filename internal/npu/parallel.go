@@ -141,7 +141,7 @@ func (n *NPU) RunModelParallel(w workload.Workload, coreIDs []int, mode Transfer
 		}
 		cores[i] = c
 		slices[i] = sliceWorkload(w, i, parts, dim)
-		prog, _, err := Compile(slices[i], n.cfg, 0, DefaultLayout)
+		prog, _, err := CompileCached(slices[i], n.cfg, 0, DefaultLayout)
 		if err != nil {
 			return ModelParallelResult{}, err
 		}

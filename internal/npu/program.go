@@ -218,6 +218,12 @@ func Compile(w workload.Workload, cfg Config, spadBudget int, layout Layout) (*P
 		layout.ActBase = layout.WeightBase + mem.VirtAddr(mem.PageAlignUp(mem.PhysAddr(weightTotal)))
 	}
 
+	// Size the op stream exactly before emitting: append-growth on
+	// multi-million-op streams dominated the whole suite's allocation
+	// profile (~90% of fig1's bytes), and a right-sized slice is also a
+	// precondition for sharing compiled programs via the compile cache.
+	p.Ops = make([]Op, 0, countOps(w, tilings, dim))
+
 	gemmIdx := 0
 	for li, layer := range w.Layers {
 		for _, g := range layer.GEMMs {
@@ -242,13 +248,6 @@ func Compile(w workload.Workload, cfg Config, spadBudget int, layout Layout) (*P
 			aBase := layout.ActBase + mem.VirtAddr(actOff)
 			bBase := layout.WeightBase + mem.VirtAddr(weightOff)
 			cBase := aBase + mem.VirtAddr(aPacked)
-
-			tileSize := func(total, tile, idx, count int) int {
-				if idx == count-1 {
-					return total - tile*(count-1)
-				}
-				return tile
-			}
 
 			for mi := 0; mi < mc; mi++ {
 				mt := tileSize(g.M, tl.Mt, mi, mc)
@@ -283,6 +282,43 @@ func Compile(w workload.Workload, cfg Config, spadBudget int, layout Layout) (*P
 	st.Ops = len(p.Ops)
 	st.WeightBytes = int64(weightOff)
 	return p, st, nil
+}
+
+// tileSize is the edge-aware extent of tile idx out of count covering
+// total elements with full tiles of size tile.
+func tileSize(total, tile, idx, count int) int {
+	if idx == count-1 {
+		return total - tile*(count-1)
+	}
+	return tile
+}
+
+// countOps walks the same tile loops as the emit pass and returns the
+// exact number of ops Compile will produce, so p.Ops can be allocated
+// once at final size (no append doubling, no slack).
+func countOps(w workload.Workload, tilings []workload.Tiling, dim int) int {
+	total := 0
+	gi := 0
+	for _, layer := range w.Layers {
+		for _, g := range layer.GEMMs {
+			tl := tilings[gi]
+			gi++
+			mc, kc, nc := tl.Counts()
+			for mi := 0; mi < mc; mi++ {
+				mt := tileSize(g.M, tl.Mt, mi, mc)
+				aDesc := ceilDiv(mt, dim)
+				// Per (mi,ni): kc iterations of (A descriptors + B
+				// descriptors + 1 matmul), then the C mvout descriptors.
+				inner := 0
+				for ki := 0; ki < kc; ki++ {
+					kt := tileSize(g.K, tl.Kt, ki, kc)
+					inner += aDesc + ceilDiv(kt, dim) + 1
+				}
+				total += nc * (inner + aDesc)
+			}
+		}
+	}
+	return total
 }
 
 // emitDescriptors appends the mvin/mvout descriptors for a rows x cols

@@ -607,7 +607,7 @@ func (s *Scheduler) prepare() {
 		if !rs.req.Secure {
 			layout = driver.LayoutFor(rs.req.ID)
 		}
-		prog, _, err := npu.Compile(wl, s.deps.Cfg, 0, layout)
+		prog, _, err := npu.CompileCached(wl, s.deps.Cfg, 0, layout)
 		if err != nil {
 			rs.errMsg = err.Error()
 			return

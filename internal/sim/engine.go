@@ -86,11 +86,21 @@ func (h *eventHeap) pop() event {
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Cycle
-	seq     uint64
-	events  eventHeap
-	stats   *Stats
-	stopped bool
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// sameCycle coalesces heap traffic: events scheduled for exactly
+	// the current cycle (the common cascade pattern — an event firing
+	// schedules follow-on work "now") go into this FIFO instead of
+	// paying a heap push + sift and a pop + sift each. Entries are
+	// appended with at == now and now never decreases, so the slice is
+	// ordered by (at, seq) and its head is always its minimum; the run
+	// loop merges it with the heap by the same (at, seq) rule, so
+	// firing order is bit-identical to the heap-only engine.
+	sameCycle []event
+	sameHead  int
+	stats     *Stats
+	stopped   bool
 }
 
 // NewEngine returns an engine at cycle 0 with an empty event queue.
@@ -111,7 +121,46 @@ func (e *Engine) Schedule(at Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
 	}
 	e.seq++
+	if at == e.now {
+		e.sameCycle = append(e.sameCycle, event{at: at, seq: e.seq, fn: fn})
+		return
+	}
 	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// next pops the globally minimum pending event, merging the heap with
+// the same-cycle FIFO. Callers must ensure Pending() > 0.
+func (e *Engine) next() event {
+	if e.sameHead < len(e.sameCycle) {
+		f := e.sameCycle[e.sameHead]
+		heapFirst := len(e.events) > 0 &&
+			(e.events[0].at < f.at || (e.events[0].at == f.at && e.events[0].seq < f.seq))
+		if !heapFirst {
+			e.sameCycle[e.sameHead] = event{} // release the callback for GC
+			e.sameHead++
+			if e.sameHead == len(e.sameCycle) {
+				e.sameCycle = e.sameCycle[:0]
+				e.sameHead = 0
+			}
+			return f
+		}
+	}
+	return e.events.pop()
+}
+
+// peekAt reports the timestamp of the minimum pending event; callers
+// must ensure Pending() > 0.
+func (e *Engine) peekAt() Cycle {
+	if e.sameHead < len(e.sameCycle) {
+		// FIFO entries were scheduled at what was then "now", so the
+		// head is never later than anything in the heap's future — but
+		// compare anyway to keep the invariant local.
+		f := e.sameCycle[e.sameHead]
+		if len(e.events) == 0 || e.events[0].at >= f.at {
+			return f.at
+		}
+	}
+	return e.events[0].at
 }
 
 // After runs fn delay cycles from now.
@@ -123,8 +172,8 @@ func (e *Engine) After(delay Cycle, fn func()) {
 // remain or Stop is called. It returns the final cycle.
 func (e *Engine) Run() Cycle {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events.pop()
+	for e.Pending() > 0 && !e.stopped {
+		ev := e.next()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -134,8 +183,8 @@ func (e *Engine) Run() Cycle {
 // RunUntil drains events with timestamps <= limit. Events beyond the
 // limit stay queued. It returns the final cycle (<= limit).
 func (e *Engine) RunUntil(limit Cycle) Cycle {
-	for len(e.events) > 0 && e.events[0].at <= limit && !e.stopped {
-		ev := e.events.pop()
+	for e.Pending() > 0 && e.peekAt() <= limit && !e.stopped {
+		ev := e.next()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -149,7 +198,27 @@ func (e *Engine) RunUntil(limit Cycle) Cycle {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + (len(e.sameCycle) - e.sameHead) }
+
+// Reset returns the engine to cycle 0 with an empty queue and zeroed
+// stats, keeping the event heap's and FIFO's backing storage (and the
+// stats map's resolved counter handles) so a pooled SoC's next run
+// schedules into warm memory instead of regrowing it.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	for i := range e.events {
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	for i := range e.sameCycle {
+		e.sameCycle[i] = event{}
+	}
+	e.sameCycle = e.sameCycle[:0]
+	e.sameHead = 0
+	e.stats.Reset()
+}
 
 // Advance moves the clock forward without firing events. It is used by
 // sequential task executors that compute their own op durations and

@@ -339,6 +339,24 @@ func (s *Scratchpad) ResetSecure(ctx tee.Context, from, to int) error {
 	return nil
 }
 
+// Reset power-cycles the scratchpad for arena-style reuse: every
+// payload byte is zeroed, every line returns to the non-secure domain
+// and the never-written state, stored parity is cleared, and any fault
+// injector is detached. This is strictly stronger than ResetSecure over
+// the full range (which needs a secure context and leaves valid bits
+// semantics to the ID rules) — a pooled SoC handed to the next
+// experiment cell must be indistinguishable from a freshly built one,
+// including to a tenant probing for LeftoverLocals residue.
+func (s *Scratchpad) Reset() {
+	clear(s.data)
+	clear(s.ids)
+	clear(s.valid)
+	if s.parity != nil {
+		clear(s.parity)
+	}
+	s.inj = nil
+}
+
 // CountDomain reports how many lines are tagged with domain d.
 func (s *Scratchpad) CountDomain(d DomainID) int {
 	n := 0

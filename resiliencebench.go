@@ -172,10 +172,11 @@ func ResilienceBench(seed int64, cfg ResilienceBenchConfig) (*ResilienceBenchRes
 }
 
 func resilienceCell(seed int64, rate, load float64, cfg ResilienceBenchConfig) (ResilienceBenchRow, error) {
-	sys, err := New(DefaultConfig())
+	sys, err := acquireSystem(DefaultConfig())
 	if err != nil {
 		return ResilienceBenchRow{}, err
 	}
+	defer sys.release()
 	sys.InstallFaultPlan(fault.Generate(seed, resilienceHorizon(load, cfg.Requests), fault.TransientRates(rate)))
 	keys := make(map[string][]byte, cfg.Tenants)
 	sealedFor := make(map[string][]byte)

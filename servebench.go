@@ -154,10 +154,11 @@ func ServeBench(seed int64, cfg ServeBenchConfig) (*ServeBenchResult, error) {
 }
 
 func serveLoadPoint(seed int64, load float64, cfg ServeBenchConfig) (ServeBenchRow, error) {
-	sys, err := New(DefaultConfig())
+	sys, err := acquireSystem(DefaultConfig())
 	if err != nil {
 		return ServeBenchRow{}, err
 	}
+	defer sys.release()
 	keys := make(map[string][]byte, cfg.Tenants)
 	sealedFor := make(map[string][]byte, cfg.Tenants)
 	for t := 0; t < cfg.Tenants; t++ {

@@ -156,6 +156,43 @@ func New(cfg Config) (*System, error) {
 // Stats exposes the system-wide counters.
 func (s *System) Stats() *sim.Stats { return s.stats }
 
+// Reset power-cycles the system back to its just-booted state so it
+// can be reused by another benchmark cell (arena-style pooling; see
+// DESIGN.md §13). Everything observable is scrubbed — the accelerator
+// (pipelines, DRAM channel, L2 contents, scratchpad payload/tags/
+// valid/parity, mesh state, core domains, boot translators restored),
+// backing DRAM pages and ECC damage, every Guarder register file, the
+// driver's allocator and task IDs, the monitor's keys/tasks/queue/
+// allocator (with the platform's static checking windows reprogrammed
+// exactly as New does), fault injectors, observability attachments,
+// and all counters. Capacity (slices, maps, resolved counter handles)
+// stays warm; that reuse is the entire point.
+//
+// The contract, pinned by the fresh-vs-pooled differential tests: any
+// run on a Reset system is byte-identical — cycles, decision logs,
+// stats — to the same run on a fresh New(cfg) system, and no prior
+// tenant's bytes are observable afterwards.
+func (s *System) Reset() error {
+	s.acc.Reset()
+	s.phys.Reset()
+	s.stats.Reset()
+	for _, g := range s.guarders {
+		g.Reset()
+	}
+	s.drv.Reset()
+	clear(s.nextSlot)
+	s.inj = nil
+	s.obs = nil
+	if s.mon != nil {
+		s.mon.Reset()
+		if err := s.mon.SetupPlatform(experiments.ReservedBase, experiments.ReservedSize,
+			experiments.SecureBase, experiments.SecureSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EnableObservability arms the unified observability layer across the
 // whole SoC: the metrics registry aggregates the system counters plus
 // per-component instruments (NoC stall histograms, DMA latency, IOTLB
@@ -414,7 +451,7 @@ func (s *System) SubmitSecure(name, keyID string, sealedModel []byte) (*SecureTa
 	if err != nil {
 		return nil, err
 	}
-	prog, _, err := npu.Compile(w, s.cfg.NPU, 0, npu.DefaultLayout)
+	prog, _, err := npu.CompileCached(w, s.cfg.NPU, 0, npu.DefaultLayout)
 	if err != nil {
 		return nil, err
 	}
