@@ -369,7 +369,7 @@ func selectModels(flagVal string) ([]workload.Workload, error) {
 	}
 	var out []workload.Workload
 	for _, name := range strings.Split(flagVal, ",") {
-		w, err := workload.ByName(strings.TrimSpace(name))
+		w, err := workload.Lookup(strings.TrimSpace(name))
 		if err != nil {
 			return nil, err
 		}

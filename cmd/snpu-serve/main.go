@@ -5,11 +5,18 @@
 // internal/sched).
 //
 //	snpu-serve -addr :8080 -cores 0,1,2,3
+//	snpu-serve -graph examples/graphs/tinycnn.json
 //
 //	curl -s -XPOST localhost:8080/v1/submit \
 //	  -d '{"tenant":"a","model":"resnet"}'
 //	curl -s -XPOST localhost:8080/v1/run | jq .completed
 //	curl -s localhost:8080/metrics | head
+//
+// -graph registers custom graph-IR models at boot (comma-separated
+// files): each compiles through internal/graph and becomes submittable
+// by name, listed by GET /v1/models alongside the built-ins. Clients
+// can also submit a one-off inline graph in the "graph" field of
+// POST /v1/submit; invalid IR is a 400 either way.
 //
 // SIGTERM/SIGINT trigger a graceful drain: admission seals (submits
 // get 503 + Retry-After, /readyz flips to 503), one final scheduling
@@ -32,9 +39,11 @@ import (
 	"time"
 
 	snpu "repro"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -49,12 +58,25 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive aborts before tenant quarantine (0 = disabled)")
 	breakerCooldown := flag.Int("breaker-cooldown", 2, "quarantine length in scheduling episodes")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wall time for graceful shutdown")
+	graphFiles := flag.String("graph", "", "comma-separated graph-IR files to register as named models")
 	flag.Parse()
 
 	coreList, err := parseCores(*cores)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var models []workload.Workload
+	if *graphFiles != "" {
+		for _, path := range strings.Split(*graphFiles, ",") {
+			path = strings.TrimSpace(path)
+			w, err := graph.LoadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snpu-serve: -graph %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			models = append(models, w)
+		}
 	}
 	cfg := snpu.DefaultConfig()
 	if *baseline {
@@ -74,6 +96,7 @@ func main() {
 		MaxQueuePerTenant: *tenantQueue,
 		BreakerThreshold:  *breakerThreshold,
 		BreakerCooldown:   *breakerCooldown,
+		Models:            models,
 	})
 	if err != nil {
 		log.Fatal(err)

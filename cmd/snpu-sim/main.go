@@ -8,6 +8,13 @@
 //	snpu-sim -model alexnet -secure            # through the NPU Monitor
 //	snpu-sim -model googlenet -counters        # dump stat counters
 //	snpu-sim -model yololite -secure -faults plan.json -seed 3
+//	snpu-sim -model my-graph.json -secure      # compile a graph-IR file
+//
+// -model accepts either a built-in name or a path to a graph-IR JSON
+// document (anything ending in .json): the graph is parsed, validated,
+// and lowered to the same GEMM workload form the built-ins use, then
+// runs through any mode — baseline, secure, traced. Invalid IR fails
+// before anything executes.
 //
 // -seed (default 1) makes every run reproducible: it derives the
 // secure-task sealing key and is echoed into fault plans, so the same
@@ -26,12 +33,13 @@ import (
 
 	snpu "repro"
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
-	model := flag.String("model", "yololite", "workload: googlenet, alexnet, yololite, mobilenet, resnet, bert, vgg16, gpt-decode, dlrm")
+	model := flag.String("model", "yololite", "workload: googlenet, alexnet, yololite, mobilenet, resnet, bert, vgg16, gpt-decode, dlrm — or a path to a graph-IR .json file")
 	baseline := flag.Bool("baseline", false, "run on the unprotected baseline NPU")
 	secure := flag.Bool("secure", false, "run as a secure task through the NPU Monitor")
 	counters := flag.Bool("counters", false, "dump hardware counters after the run")
@@ -49,6 +57,17 @@ func main() {
 	sys, err := snpu.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	// A .json -model is a graph-IR document: compile it up front so any
+	// IR error surfaces before the SoC does anything.
+	var graphWL workload.Workload
+	haveGraph := strings.HasSuffix(*model, ".json")
+	if haveGraph {
+		graphWL, err = graph.LoadFile(*model)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *metricsOut != "" {
 		// Spans ride along only when a -trace timeline was requested;
@@ -108,7 +127,11 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		res, err = sys.RunModelTraced(*model, f)
+		if haveGraph {
+			res, err = sys.RunWorkloadTraced(graphWL, f)
+		} else {
+			res, err = sys.RunModelTraced(*model, f)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -125,7 +148,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		handle, err := sys.SubmitSecure(*model, "cli-owner", sealed)
+		var handle *snpu.SecureTaskHandle
+		if haveGraph {
+			handle, err = sys.SubmitSecureWorkload(graphWL, "cli-owner", sealed)
+		} else {
+			handle, err = sys.SubmitSecure(*model, "cli-owner", sealed)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -152,7 +180,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		res, err = sys.RunModel(*model)
+		if haveGraph {
+			res, err = sys.RunWorkload(graphWL)
+		} else {
+			res, err = sys.RunModel(*model)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	model := "googlenet"
-	if _, err := workload.ByName(model); err != nil {
+	if _, err := workload.Lookup(model); err != nil {
 		log.Fatal(err)
 	}
 	// A 2x2 block on the 5x2 mesh: cores 0,1 (row 0) and 5,6 (row 1).

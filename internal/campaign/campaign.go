@@ -66,7 +66,7 @@ func measOf(model string) ([32]byte, error) {
 	if m, ok := measBy[model]; ok {
 		return m, nil
 	}
-	w, err := workload.ByNameExtended(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return [32]byte{}, err
 	}

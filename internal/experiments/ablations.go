@@ -46,7 +46,7 @@ func (a *AblationResult) TableString() string {
 // AblationIOTLBSweep extends Fig. 13(a)'s entry sweep (2..128 entries)
 // on one model, reporting the slowdown vs. the unprotected baseline.
 func AblationIOTLBSweep(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func AblationIOTLBSweep(model string, cfg npu.Config) (*AblationResult, error) {
 // reports the tiler's DRAM traffic — the curve that makes Fig. 15's
 // partition sensitivity.
 func AblationSpadBudget(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +119,7 @@ func AblationMultiDomain() *AblationResult {
 // AblationL2 compares one model's runtime with the DMA path going
 // straight to DRAM (default) vs. through the shared L2 (Table II).
 func AblationL2(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +208,7 @@ func AblationMulticast(cfg npu.Config) (*AblationResult, error) {
 // first-order energy model: the access-control energy of a real
 // contended run under IOMMU vs Guarder, per model.
 func AblationCheckingEnergy(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +247,7 @@ func AblationCheckingEnergy(model string, cfg npu.Config) (*AblationResult, erro
 // hide), at high bandwidth compute bound (Fig. 13's stalls matter even
 // less). The knee is where Table II's 16 GB/s sits.
 func AblationBandwidth(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +275,7 @@ func AblationBandwidth(model string, cfg npu.Config) (*AblationResult, error) {
 // AblationPreemption quantifies Table I's SLA column: preemption
 // latency of a secure arrival under each sharing mechanism.
 func AblationPreemption(model string, cfg npu.Config) (*AblationResult, error) {
-	w, err := workload.ByName(model)
+	w, err := workload.Lookup(model)
 	if err != nil {
 		return nil, err
 	}

@@ -66,7 +66,7 @@ func Fig15(cfg npu.Config) (*Fig15Result, error) {
 		}
 	}
 	soloCycles, err := mapCells(names, func(name string) (sim.Cycle, error) {
-		w, err := workload.ByName(name)
+		w, err := workload.Lookup(name)
 		if err != nil {
 			return 0, err
 		}
@@ -88,11 +88,11 @@ func Fig15(cfg npu.Config) (*Fig15Result, error) {
 	policies := append(driver.StaticPartitions(), driver.DynamicPolicy())
 	rows, err := runCells(len(groups)*len(policies), func(i int) (Fig15Row, error) {
 		gi, grp, pol := i/len(policies), groups[i/len(policies)], policies[i%len(policies)]
-		wa, err := workload.ByName(grp.Trusted)
+		wa, err := workload.Lookup(grp.Trusted)
 		if err != nil {
 			return Fig15Row{}, err
 		}
-		wb, err := workload.ByName(grp.Untrusted)
+		wb, err := workload.Lookup(grp.Untrusted)
 		if err != nil {
 			return Fig15Row{}, err
 		}

@@ -39,7 +39,7 @@ type Table1Result struct {
 //   - sNPU: both sharing modes, high utilization, good performance and
 //     SLA (tile-granular switching at zero flush cost).
 func Table1(cfg npu.Config) (*Table1Result, error) {
-	model, err := workload.ByName("alexnet")
+	model, err := workload.Lookup("alexnet")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzGraphIR drives the untrusted front door: arbitrary bytes must
+// never panic anywhere in parse → validate → lower, and any input the
+// pipeline ACCEPTS must produce a Validate-clean workload with at
+// least one GEMM — the invariant the serving layer relies on when it
+// forwards an inline graph to the scheduler.
+func FuzzGraphIR(f *testing.F) {
+	// Committed model files are the structured seed corpus.
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatal("no seed corpus in testdata/")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hand-written near-miss seeds steer mutation toward validator edges.
+	f.Add([]byte(`{"ir":1,"name":"x","inputs":[{"name":"in","shape":[1,3,8,8]}],` +
+		`"nodes":[{"name":"c","op":"Conv","inputs":["in"],"attrs":{"filters":4,"kernel":3}}],"outputs":["c"]}`))
+	f.Add([]byte(`{"ir":1,"name":"x","inputs":[{"name":"t","shape":[8,64]}],` +
+		`"nodes":[{"name":"a","op":"Attention","inputs":["t"],"attrs":{"heads":4,"ctx":32}}],"outputs":["a"]}`))
+	f.Add([]byte(`{"ir":1,"name":"cyc","inputs":[{"name":"t","shape":[8,8]}],` +
+		`"nodes":[{"name":"a","op":"Relu","inputs":["b"]},{"name":"b","op":"Relu","inputs":["a"]}],"outputs":["a"]}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := LowerBytes(data)
+		if err != nil {
+			return // rejection is the common, correct case
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted graph lowered to invalid workload: %v", err)
+		}
+		gemms := 0
+		for _, l := range w.Layers {
+			gemms += len(l.GEMMs)
+		}
+		if gemms == 0 {
+			t.Fatal("accepted graph lowered to zero GEMMs")
+		}
+	})
+}

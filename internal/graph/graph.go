@@ -1,0 +1,198 @@
+// Package graph is the model front end of the reproduction: a small
+// JSON operator-graph IR that compiles down to the same layer-accurate
+// GEMM workloads (internal/workload) the paper's six §VI evaluation
+// models are hand-written as. The front end itself is beyond the paper
+// — it exists so arbitrary user models can flow through the simulator,
+// the scheduler, and the serving daemon instead of only the hand-
+// ported set — but its lowering rules are exactly the paper's: every
+// convolution becomes its im2col GEMM, depthwise convolutions carry
+// the systolic-array efficiency penalty, attention expands into the
+// per-head projection/score/context GEMMs, and pooling/element-wise
+// ops shape the tensor flow without contributing GEMM work.
+//
+// The pipeline is Parse → Validate (shape inference, dangling-input
+// and cycle detection, dim checks) → Lower, and it fails closed: the
+// parser rejects unknown fields and ops, validation rejects any graph
+// whose tensor flow does not type-check, and only a Validate-clean
+// graph reaches the lowering. The canonical digest of the lowered
+// workload (workload.Digest) rides into the compiled program's
+// measurement, so an attestation quote over a graph-submitted secure
+// task binds the exact compiled graph.
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// Format bounds. The parser and validator enforce these caps before
+// any quadratic work happens, so hostile IR cannot balloon memory.
+const (
+	// IRVersion is the only accepted value of the "ir" field.
+	IRVersion = 1
+	// MaxIRBytes caps the serialized IR document.
+	MaxIRBytes = 4 << 20
+	// MaxNodes caps the node count of one graph.
+	MaxNodes = 1 << 14
+	// MaxNameLen caps model, tensor, node, and layer names.
+	MaxNameLen = 128
+	// MaxDim caps any single tensor dimension (and kernel/stride/pad/
+	// attribute magnitudes), keeping every lowered GEMM product well
+	// inside int64.
+	MaxDim = 1 << 20
+	// MaxHeads caps an attention node's head count.
+	MaxHeads = 1 << 10
+)
+
+// Op names the operator set. Gemm/MatMul/Conv/DWConv/FC/Attention
+// lower to GEMMs; Pool/Reduce and the element-wise ops (Add, Mul,
+// Relu, Softmax) and Concat shape the tensor flow only.
+type Op string
+
+// The operator set.
+const (
+	OpGemm      Op = "Gemm"
+	OpMatMul    Op = "MatMul"
+	OpConv      Op = "Conv"
+	OpDWConv    Op = "DWConv"
+	OpFC        Op = "FC"
+	OpAttention Op = "Attention"
+	OpPool      Op = "Pool"
+	OpReduce    Op = "Reduce"
+	OpAdd       Op = "Add"
+	OpMul       Op = "Mul"
+	OpRelu      Op = "Relu"
+	OpSoftmax   Op = "Softmax"
+	OpConcat    Op = "Concat"
+)
+
+// ops maps every known operator to whether it produces GEMM work.
+var ops = map[Op]bool{
+	OpGemm: true, OpMatMul: true, OpConv: true, OpDWConv: true,
+	OpFC: true, OpAttention: true,
+	OpPool: false, OpReduce: false, OpAdd: false, OpMul: false,
+	OpRelu: false, OpSoftmax: false, OpConcat: false,
+}
+
+// Attrs carries the per-op scalar attributes. Zero values mean "use
+// the op's default" (stride 1, pad 0, self-attention context).
+// Unknown JSON fields are rejected at parse time; a set attribute the
+// node's op does not consume is rejected by Validate, so a typo'd
+// graph never silently describes a different network.
+type Attrs struct {
+	// Filters is Conv's output-channel count.
+	Filters int `json:"filters,omitempty"`
+	// Kernel is the square kernel size of Conv/DWConv/Pool.
+	Kernel int `json:"kernel,omitempty"`
+	// Stride defaults to 1 for Conv/DWConv and to Kernel for Pool.
+	Stride int `json:"stride,omitempty"`
+	// Pad is the symmetric spatial padding (default 0).
+	Pad int `json:"pad,omitempty"`
+	// Out is the output width of FC/Gemm.
+	Out int `json:"out,omitempty"`
+	// Heads is Attention's head count.
+	Heads int `json:"heads,omitempty"`
+	// Ctx, when non-zero, is Attention's cached-context length (an
+	// autoregressive decode step); zero means self-attention over the
+	// input's own sequence length.
+	Ctx int `json:"ctx,omitempty"`
+	// Mode selects the Reduce/Pool flavor ("mean" or "max"); timing
+	// is identical, so it is descriptive only.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Tensor declares a named graph input with an explicit shape:
+// [1, features] or [seq, hidden] for 2-D tensors, [n, c, h, w] for
+// 4-D ones.
+type Tensor struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+// Node is one operator application. Every node defines exactly one
+// output tensor named after the node, so dataflow edges are plain
+// name references.
+type Node struct {
+	Name   string   `json:"name"`
+	OpKind Op       `json:"op"`
+	Inputs []string `json:"inputs"`
+	// Layer tags the scheduling-boundary layer this node's GEMMs join;
+	// empty means the node is its own layer. Nodes sharing a tag must
+	// be contiguous in file order — layers are the flush/scheduling
+	// unit, so scattering one across the stream is rejected.
+	Layer string `json:"layer,omitempty"`
+	Attrs Attrs  `json:"attrs,omitempty"`
+}
+
+// Model is one parsed IR document.
+type Model struct {
+	IR      int      `json:"ir"`
+	Name    string   `json:"name"`
+	Inputs  []Tensor `json:"inputs"`
+	Nodes   []Node   `json:"nodes"`
+	Outputs []string `json:"outputs"`
+}
+
+// Parse decodes an IR document, rejecting unknown fields, trailing
+// data, and oversized documents. Parsing alone does not make the
+// graph usable — run Validate (or Lower, which validates) next.
+func Parse(data []byte) (*Model, error) {
+	if len(data) > MaxIRBytes {
+		return nil, fmt.Errorf("graph: IR document exceeds %d bytes", MaxIRBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Model
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("graph: parsing IR: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("graph: trailing data after IR document")
+	}
+	return &m, nil
+}
+
+// Read parses an IR document from r (bounded by MaxIRBytes).
+func Read(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxIRBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading IR: %w", err)
+	}
+	return Parse(data)
+}
+
+// Marshal serializes a model as indented canonical JSON (the format
+// committed under testdata/ and accepted back by Parse).
+func Marshal(m *Model) ([]byte, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// LoadFile reads, validates, and lowers one IR file.
+func LoadFile(path string) (workload.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	return LowerBytes(data)
+}
+
+// LowerBytes is the one-call front door: parse, validate, and lower an
+// IR document to a workload. Anything wrong — syntax, unknown fields,
+// shape errors, cycles — comes back as an error; the serving layer
+// maps every one of them to a 4xx.
+func LowerBytes(data []byte) (workload.Workload, error) {
+	m, err := Parse(data)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	return Lower(m)
+}

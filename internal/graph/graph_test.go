@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a minimal valid graph for mutation in rejection tests.
+func tiny() *Model {
+	return &Model{
+		IR: IRVersion, Name: "tiny",
+		Inputs: []Tensor{{Name: "in", Shape: []int{1, 3, 8, 8}}},
+		Nodes: []Node{
+			nconv("c1", "in", 4, 3, 1, 1),
+			nfc("fc", "c1", 10),
+		},
+		Outputs: []string{"fc"},
+	}
+}
+
+func mustReject(t *testing.T, m *Model, wantSub string) {
+	t.Helper()
+	err := m.Validate()
+	if err == nil {
+		t.Fatalf("validated, want error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown top field":  `{"ir":1,"name":"x","bogus":1}`,
+		"unknown node field": `{"ir":1,"name":"x","nodes":[{"name":"n","op":"FC","wat":2}]}`,
+		"unknown attr":       `{"ir":1,"name":"x","nodes":[{"name":"n","op":"FC","attrs":{"outt":4}}]}`,
+		"trailing data":      `{"ir":1,"name":"x"} {"again":true}`,
+		"not json":           `hello`,
+		"wrong shape type":   `{"ir":1,"inputs":[{"name":"t","shape":"big"}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed", label)
+		}
+	}
+	if _, err := Parse(make([]byte, MaxIRBytes+1)); err == nil {
+		t.Error("oversized document parsed")
+	}
+	// Valid JSON parses; validation is a separate pass.
+	m, err := Parse([]byte(`{"ir":99,"name":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IR != 99 {
+		t.Fatal("ir field lost")
+	}
+}
+
+func TestReadBounded(t *testing.T) {
+	if _, err := Read(strings.NewReader(strings.Repeat(" ", MaxIRBytes+2))); err == nil {
+		t.Fatal("oversized reader accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	t.Run("version", func(t *testing.T) {
+		m := tiny()
+		m.IR = 2
+		mustReject(t, m, "IR version")
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		m := tiny()
+		m.Inputs = nil
+		mustReject(t, m, "no inputs")
+	})
+	t.Run("no nodes", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = nil
+		mustReject(t, m, "no nodes")
+	})
+	t.Run("dangling input", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[0].Inputs = []string{"ghost"}
+		mustReject(t, m, "dangling")
+	})
+	t.Run("cycle", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = []Node{
+			{Name: "a", OpKind: OpRelu, Inputs: []string{"b"}},
+			{Name: "b", OpKind: OpRelu, Inputs: []string{"a"}},
+			nconv("c1", "in", 4, 3, 1, 1),
+		}
+		m.Outputs = []string{"c1"}
+		mustReject(t, m, "cycle")
+	})
+	t.Run("self cycle", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[1].Inputs = []string{"fc"}
+		mustReject(t, m, "cycle")
+	})
+	t.Run("duplicate node", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[1].Name = "c1"
+		mustReject(t, m, "duplicate")
+	})
+	t.Run("node shadows input", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[0].Name = "in"
+		mustReject(t, m, "shadows")
+	})
+	t.Run("unknown op", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[0].OpKind = "Convolve"
+		mustReject(t, m, "unknown op")
+	})
+	t.Run("unconsumed attr", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[1].Attrs.Kernel = 3 // FC does not take kernel
+		mustReject(t, m, "not consumed")
+	})
+	t.Run("kernel does not fit", func(t *testing.T) {
+		m := tiny()
+		m.Nodes[0].Attrs.Kernel = 99
+		mustReject(t, m, "does not fit")
+	})
+	t.Run("bad dim", func(t *testing.T) {
+		m := tiny()
+		m.Inputs[0].Shape = []int{1, 3, 0, 8}
+		mustReject(t, m, "out of range")
+	})
+	t.Run("bad rank", func(t *testing.T) {
+		m := tiny()
+		m.Inputs[0].Shape = []int{3, 8, 8}
+		mustReject(t, m, "2-D or 4-D")
+	})
+	t.Run("fc on batch>1", func(t *testing.T) {
+		m := &Model{
+			IR: IRVersion, Name: "x",
+			Inputs:  []Tensor{{Name: "in", Shape: []int{4, 16}}},
+			Nodes:   []Node{nfc("fc", "in", 8)},
+			Outputs: []string{"fc"},
+		}
+		mustReject(t, m, "batch 1")
+	})
+	t.Run("matmul inner mismatch", func(t *testing.T) {
+		m := &Model{
+			IR: IRVersion, Name: "x",
+			Inputs: []Tensor{
+				{Name: "a", Shape: []int{4, 16}},
+				{Name: "b", Shape: []int{8, 4}},
+			},
+			Nodes:   []Node{{Name: "mm", OpKind: OpMatMul, Inputs: []string{"a", "b"}}},
+			Outputs: []string{"mm"},
+		}
+		mustReject(t, m, "inner dims")
+	})
+	t.Run("add shape mismatch", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = append(m.Nodes, Node{Name: "bad", OpKind: OpAdd, Inputs: []string{"c1", "in"}})
+		mustReject(t, m, "mismatch")
+	})
+	t.Run("attention indivisible heads", func(t *testing.T) {
+		m := &Model{
+			IR: IRVersion, Name: "x",
+			Inputs:  []Tensor{{Name: "t", Shape: []int{8, 100}}},
+			Nodes:   []Node{{Name: "a", OpKind: OpAttention, Inputs: []string{"t"}, Attrs: Attrs{Heads: 3}}},
+			Outputs: []string{"a"},
+		}
+		mustReject(t, m, "divisible")
+	})
+	t.Run("no gemm work", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = []Node{{Name: "r", OpKind: OpRelu, Inputs: []string{"in"}}}
+		m.Outputs = []string{"r"}
+		mustReject(t, m, "no GEMM work")
+	})
+	t.Run("scattered layer", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = []Node{
+			nconvL("a", "in", "l1", 4, 3, 1, 1),
+			nconvL("b", "a", "l2", 4, 3, 1, 1),
+			nconvL("c", "b", "l1", 4, 3, 1, 1),
+		}
+		m.Outputs = []string{"c"}
+		mustReject(t, m, "not contiguous")
+	})
+	t.Run("undefined output", func(t *testing.T) {
+		m := tiny()
+		m.Outputs = []string{"nope"}
+		mustReject(t, m, "not a defined tensor")
+	})
+	t.Run("bad mode", func(t *testing.T) {
+		m := tiny()
+		m.Nodes = append(m.Nodes[:1], Node{Name: "r", OpKind: OpReduce,
+			Inputs: []string{"c1"}, Attrs: Attrs{Mode: "median"}})
+		m.Outputs = []string{"r"}
+		mustReject(t, m, "mode")
+	})
+	t.Run("nil model", func(t *testing.T) {
+		var m *Model
+		if err := m.Validate(); err == nil {
+			t.Fatal("nil model validated")
+		}
+	})
+}
+
+func TestShapesInference(t *testing.T) {
+	m := tiny()
+	shapes, err := m.Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shapes["c1"]; !got.equal(Shape{1, 4, 8, 8}) {
+		t.Fatalf("c1 shape %v", got)
+	}
+	if got := shapes["fc"]; !got.equal(Shape{1, 10}) {
+		t.Fatalf("fc shape %v", got)
+	}
+}
+
+// Forward references are legal: node order in the file is layout, not
+// dataflow order (as long as the graph is acyclic and layers stay
+// contiguous).
+func TestForwardReference(t *testing.T) {
+	m := &Model{
+		IR: IRVersion, Name: "fwd",
+		Inputs: []Tensor{{Name: "in", Shape: []int{1, 3, 8, 8}}},
+		Nodes: []Node{
+			{Name: "late", OpKind: OpRelu, Inputs: []string{"early"}},
+			nconv("early", "in", 4, 3, 1, 1),
+		},
+		Outputs: []string{"late"},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttentionExpansion(t *testing.T) {
+	m := &Model{
+		IR: IRVersion, Name: "attn",
+		Inputs: []Tensor{{Name: "t", Shape: []int{16, 64}}},
+		Nodes: []Node{
+			{Name: "a", OpKind: OpAttention, Inputs: []string{"t"}, Attrs: Attrs{Heads: 4}},
+		},
+		Outputs: []string{"a"},
+	}
+	w, err := Lower(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemms := w.Layers[0].GEMMs
+	// 3 projections + 4 heads x 2 + out projection.
+	if len(gemms) != 3+8+1 {
+		t.Fatalf("%d GEMMs", len(gemms))
+	}
+	if gemms[0].Name != "a_qproj" || gemms[0].M != 16 || gemms[0].K != 64 || gemms[0].N != 64 {
+		t.Fatalf("qproj %+v", gemms[0])
+	}
+	// Self-attention: scores N = seq, context naming.
+	if gemms[3].Name != "a_scores_h0" || gemms[3].N != 16 {
+		t.Fatalf("scores %+v", gemms[3])
+	}
+	if gemms[4].Name != "a_context_h0" || gemms[4].K != 16 || gemms[4].N != 16 {
+		t.Fatalf("context %+v", gemms[4])
+	}
+
+	// Decode flavor: ctx overrides the attended length and renames the
+	// second per-head GEMM.
+	m.Nodes[0].Attrs.Ctx = 96
+	w, err = Lower(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemms = w.Layers[0].GEMMs
+	if gemms[3].N != 96 {
+		t.Fatalf("decode scores %+v", gemms[3])
+	}
+	if gemms[4].Name != "a_ctx_h0" || gemms[4].K != 96 {
+		t.Fatalf("decode ctx %+v", gemms[4])
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, c := range irCases() {
+		buf, err := Marshal(c.model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Parse(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		again, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(again) {
+			t.Fatalf("%s: marshal not stable", c.file)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// The IR builders below mirror the hand-coded constructors in
+// internal/workload; TestWriteTestdata serializes them into the
+// committed testdata/ files and TestIRModelsMatchConstructors proves
+// the committed files lower byte-identical to the constructors.
+
+type irCase struct {
+	file  string
+	model func() *Model
+	want  func() workload.Workload
+}
+
+func irCases() []irCase {
+	return []irCase{
+		{"alexnet.json", alexNetIR, workload.AlexNet},
+		{"yololite.json", yoloLiteIR, workload.YOLOLite},
+		{"mobilenet.json", mobileNetIR, workload.MobileNet},
+		{"resnet.json", resNetIR, workload.ResNet},
+		{"googlenet.json", googleNetIR, workload.GoogleNet},
+		{"bert.json", bertIR, func() workload.Workload { return workload.BERT(workload.BERTBase) }},
+		{"vgg16.json", vgg16IR, workload.VGG16},
+		{"gpt-decode.json", gptDecodeIR, workload.GPTSmallDecode},
+		{"dlrm.json", dlrmIR, workload.DLRM},
+	}
+}
+
+// Node shorthands. A zero stride means "op default"; the builders pass
+// the constructor's explicit values so the JSON shows real configs.
+
+func nconv(name, in string, filters, kernel, stride, pad int) Node {
+	return Node{Name: name, OpKind: OpConv, Inputs: []string{in},
+		Attrs: Attrs{Filters: filters, Kernel: kernel, Stride: stride, Pad: pad}}
+}
+
+func nconvL(name, in, layer string, filters, kernel, stride, pad int) Node {
+	n := nconv(name, in, filters, kernel, stride, pad)
+	n.Layer = layer
+	return n
+}
+
+func npool(name, in string, kernel, stride, pad int) Node {
+	return Node{Name: name, OpKind: OpPool, Inputs: []string{in},
+		Attrs: Attrs{Kernel: kernel, Stride: stride, Pad: pad, Mode: "max"}}
+}
+
+func nfc(name, in string, out int) Node {
+	return Node{Name: name, OpKind: OpFC, Inputs: []string{in}, Attrs: Attrs{Out: out}}
+}
+
+func alexNetIR() *Model {
+	return &Model{
+		IR: IRVersion, Name: "alexnet",
+		Inputs: []Tensor{{Name: "image", Shape: []int{1, 3, 227, 227}}},
+		Nodes: []Node{
+			nconv("conv1", "image", 96, 11, 4, 0),
+			npool("pool1", "conv1", 3, 2, 0),
+			nconv("conv2", "pool1", 256, 5, 1, 2),
+			npool("pool2", "conv2", 3, 2, 0),
+			nconv("conv3", "pool2", 384, 3, 1, 1),
+			nconv("conv4", "conv3", 384, 3, 1, 1),
+			nconv("conv5", "conv4", 256, 3, 1, 1),
+			npool("pool5", "conv5", 3, 2, 0),
+			nfc("fc6", "pool5", 4096),
+			nfc("fc7", "fc6", 4096),
+			nfc("fc8", "fc7", 1000),
+		},
+		Outputs: []string{"fc8"},
+	}
+}
+
+func yoloLiteIR() *Model {
+	return &Model{
+		IR: IRVersion, Name: "yololite",
+		Inputs: []Tensor{{Name: "image", Shape: []int{1, 3, 224, 224}}},
+		Nodes: []Node{
+			nconv("conv1", "image", 16, 3, 1, 1),
+			npool("pool1", "conv1", 2, 2, 0),
+			nconv("conv2", "pool1", 32, 3, 1, 1),
+			npool("pool2", "conv2", 2, 2, 0),
+			nconv("conv3", "pool2", 64, 3, 1, 1),
+			npool("pool3", "conv3", 2, 2, 0),
+			nconv("conv4", "pool3", 128, 3, 1, 1),
+			npool("pool4", "conv4", 2, 2, 0),
+			nconv("conv5", "pool4", 128, 3, 1, 1),
+			nconv("conv6", "conv5", 256, 3, 1, 1),
+			npool("pool6", "conv6", 2, 2, 0),
+			nconv("conv7", "pool6", 125, 1, 1, 0),
+		},
+		Outputs: []string{"conv7"},
+	}
+}
+
+func mobileNetIR() *Model {
+	nodes := []Node{nconv("conv1", "image", 32, 3, 2, 1)}
+	type stage struct{ cout, stride int }
+	stages := []stage{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	prev := "conv1"
+	for i, s := range stages {
+		name := fmt.Sprintf("dsconv%d", i+2)
+		dw := Node{Name: name + "_dw", OpKind: OpDWConv, Inputs: []string{prev},
+			Layer: name, Attrs: Attrs{Kernel: 3, Stride: s.stride, Pad: 1}}
+		pw := nconvL(name+"_pw", name+"_dw", name, s.cout, 1, 1, 0)
+		nodes = append(nodes, dw, pw)
+		prev = name + "_pw"
+	}
+	nodes = append(nodes,
+		Node{Name: "gap", OpKind: OpReduce, Inputs: []string{prev}, Attrs: Attrs{Mode: "mean"}},
+		nfc("fc", "gap", 1000),
+	)
+	return &Model{
+		IR: IRVersion, Name: "mobilenet",
+		Inputs:  []Tensor{{Name: "image", Shape: []int{1, 3, 224, 224}}},
+		Nodes:   nodes,
+		Outputs: []string{"fc"},
+	}
+}
+
+func resNetIR() *Model {
+	nodes := []Node{
+		nconv("conv1", "image", 64, 7, 2, 3),
+		npool("pool1", "conv1", 3, 2, 1),
+	}
+	type stage struct{ blocks, mid, out int }
+	stages := []stage{{3, 64, 256}, {4, 128, 512}, {6, 256, 1024}, {3, 512, 2048}}
+	prev := "pool1"
+	for si, s := range stages {
+		if si > 0 {
+			down := fmt.Sprintf("down%d", si+2)
+			nodes = append(nodes, npool(down, prev, 2, 2, 0))
+			prev = down
+		}
+		for b := 0; b < s.blocks; b++ {
+			name := fmt.Sprintf("res%d_%d", si+2, b+1)
+			nodes = append(nodes,
+				nconvL(name+"_1x1a", prev, name, s.mid, 1, 1, 0),
+				nconvL(name+"_3x3", name+"_1x1a", name, s.mid, 3, 1, 1),
+				nconvL(name+"_1x1b", name+"_3x3", name, s.out, 1, 1, 0),
+			)
+			short := prev
+			if b == 0 {
+				nodes = append(nodes, nconvL(name+"_proj", prev, name, s.out, 1, 1, 0))
+				short = name + "_proj"
+			}
+			nodes = append(nodes, Node{Name: name + "_add", OpKind: OpAdd,
+				Inputs: []string{name + "_1x1b", short}, Layer: name})
+			prev = name + "_add"
+		}
+	}
+	nodes = append(nodes,
+		Node{Name: "gap", OpKind: OpReduce, Inputs: []string{prev}, Attrs: Attrs{Mode: "mean"}},
+		nfc("fc", "gap", 1000),
+	)
+	return &Model{
+		IR: IRVersion, Name: "resnet",
+		Inputs:  []Tensor{{Name: "image", Shape: []int{1, 3, 224, 224}}},
+		Nodes:   nodes,
+		Outputs: []string{"fc"},
+	}
+}
+
+// inception appends one GoogLeNet module; the Concat node carries the
+// module name so downstream modules reference it directly.
+func inception(nodes []Node, name, in string, c1, c3r, c3, c5r, c5, pp int) []Node {
+	return append(nodes,
+		nconvL(name+"_1x1", in, name, c1, 1, 1, 0),
+		nconvL(name+"_3x3red", in, name, c3r, 1, 1, 0),
+		nconvL(name+"_3x3", name+"_3x3red", name, c3, 3, 1, 1),
+		nconvL(name+"_5x5red", in, name, c5r, 1, 1, 0),
+		nconvL(name+"_5x5", name+"_5x5red", name, c5, 5, 1, 2),
+		Node{Name: name + "_pool", OpKind: OpPool, Inputs: []string{in}, Layer: name,
+			Attrs: Attrs{Kernel: 3, Stride: 1, Pad: 1, Mode: "max"}},
+		nconvL(name+"_poolproj", name+"_pool", name, pp, 1, 1, 0),
+		Node{Name: name, OpKind: OpConcat, Layer: name,
+			Inputs: []string{name + "_1x1", name + "_3x3", name + "_5x5", name + "_poolproj"}},
+	)
+}
+
+func googleNetIR() *Model {
+	nodes := []Node{
+		nconv("conv1", "image", 64, 7, 2, 3),
+		npool("pool1", "conv1", 3, 2, 1),
+		nconvL("conv2_red", "pool1", "conv2", 64, 1, 1, 0),
+		nconvL("conv2", "conv2_red", "conv2", 192, 3, 1, 1),
+		npool("pool2", "conv2", 3, 2, 1),
+	}
+	nodes = inception(nodes, "inception3a", "pool2", 64, 96, 128, 16, 32, 32)
+	nodes = inception(nodes, "inception3b", "inception3a", 128, 128, 192, 32, 96, 64)
+	nodes = append(nodes, npool("pool3", "inception3b", 3, 2, 1))
+	nodes = inception(nodes, "inception4a", "pool3", 192, 96, 208, 16, 48, 64)
+	nodes = inception(nodes, "inception4b", "inception4a", 160, 112, 224, 24, 64, 64)
+	nodes = inception(nodes, "inception4c", "inception4b", 128, 128, 256, 24, 64, 64)
+	nodes = inception(nodes, "inception4d", "inception4c", 112, 144, 288, 32, 64, 64)
+	nodes = inception(nodes, "inception4e", "inception4d", 256, 160, 320, 32, 128, 128)
+	nodes = append(nodes, npool("pool4", "inception4e", 3, 2, 1))
+	nodes = inception(nodes, "inception5a", "pool4", 256, 160, 320, 32, 128, 128)
+	nodes = inception(nodes, "inception5b", "inception5a", 384, 192, 384, 48, 128, 128)
+	nodes = append(nodes,
+		Node{Name: "gap", OpKind: OpReduce, Inputs: []string{"inception5b"}, Attrs: Attrs{Mode: "mean"}},
+		nfc("fc", "gap", 1000),
+	)
+	return &Model{
+		IR: IRVersion, Name: "googlenet",
+		Inputs:  []Tensor{{Name: "image", Shape: []int{1, 3, 224, 224}}},
+		Nodes:   nodes,
+		Outputs: []string{"fc"},
+	}
+}
+
+func bertIR() *Model {
+	var nodes []Node
+	prev := "tokens"
+	for l := 1; l <= 12; l++ {
+		name := fmt.Sprintf("enc%d", l)
+		nodes = append(nodes,
+			Node{Name: name, OpKind: OpAttention, Inputs: []string{prev},
+				Layer: name + "_attn", Attrs: Attrs{Heads: 12}},
+			Node{Name: name + "_ffn1", OpKind: OpGemm, Inputs: []string{name},
+				Layer: name + "_ffn", Attrs: Attrs{Out: 3072}},
+			Node{Name: name + "_ffn2", OpKind: OpGemm, Inputs: []string{name + "_ffn1"},
+				Layer: name + "_ffn", Attrs: Attrs{Out: 768}},
+		)
+		prev = name + "_ffn2"
+	}
+	return &Model{
+		IR: IRVersion, Name: "bert",
+		Inputs:  []Tensor{{Name: "tokens", Shape: []int{128, 768}}},
+		Nodes:   nodes,
+		Outputs: []string{"enc12_ffn2"},
+	}
+}
+
+func vgg16IR() *Model {
+	type block struct{ convs, ch int }
+	blocks := []block{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	var nodes []Node
+	prev := "image"
+	for bi, b := range blocks {
+		for c := 1; c <= b.convs; c++ {
+			name := fmt.Sprintf("conv%d_%d", bi+1, c)
+			nodes = append(nodes, nconv(name, prev, b.ch, 3, 1, 1))
+			prev = name
+		}
+		pool := fmt.Sprintf("pool%d", bi+1)
+		nodes = append(nodes, npool(pool, prev, 2, 2, 0))
+		prev = pool
+	}
+	nodes = append(nodes,
+		nfc("fc6", prev, 4096),
+		nfc("fc7", "fc6", 4096),
+		nfc("fc8", "fc7", 1000),
+	)
+	return &Model{
+		IR: IRVersion, Name: "vgg16",
+		Inputs:  []Tensor{{Name: "image", Shape: []int{1, 3, 224, 224}}},
+		Nodes:   nodes,
+		Outputs: []string{"fc8"},
+	}
+}
+
+func gptDecodeIR() *Model {
+	var nodes []Node
+	prev := "token"
+	for l := 1; l <= 12; l++ {
+		name := fmt.Sprintf("dec%d", l)
+		nodes = append(nodes,
+			Node{Name: name, OpKind: OpAttention, Inputs: []string{prev},
+				Layer: name + "_attn", Attrs: Attrs{Heads: 12, Ctx: 512}},
+			Node{Name: name + "_ffn1", OpKind: OpGemm, Inputs: []string{name},
+				Layer: name + "_ffn", Attrs: Attrs{Out: 3072}},
+			Node{Name: name + "_ffn2", OpKind: OpGemm, Inputs: []string{name + "_ffn1"},
+				Layer: name + "_ffn", Attrs: Attrs{Out: 768}},
+		)
+		prev = name + "_ffn2"
+	}
+	return &Model{
+		IR: IRVersion, Name: "gpt-decode",
+		Inputs:  []Tensor{{Name: "token", Shape: []int{1, 768}}},
+		Nodes:   nodes,
+		Outputs: []string{"dec12_ffn2"},
+	}
+}
+
+func dlrmIR() *Model {
+	dims := []int{2048, 1024, 1024, 512, 256, 1}
+	var nodes []Node
+	prev := "features"
+	for i := 0; i+1 < len(dims); i++ {
+		name := fmt.Sprintf("mlp%d", i+1)
+		nodes = append(nodes, nfc(name, prev, dims[i+1]))
+		prev = name
+	}
+	return &Model{
+		IR: IRVersion, Name: "dlrm",
+		Inputs:  []Tensor{{Name: "features", Shape: []int{1, 2048}}},
+		Nodes:   nodes,
+		Outputs: []string{"mlp5"},
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/npu"
+	"repro/internal/workload"
+)
+
+var writeTestdata = flag.Bool("write-testdata", false,
+	"rewrite the committed testdata/ IR files from the Go builders")
+
+// TestWriteTestdata regenerates the committed IR files. Run with
+//
+//	go test ./internal/graph -run TestWriteTestdata -write-testdata
+//
+// after changing a builder, then re-run the drift test.
+func TestWriteTestdata(t *testing.T) {
+	if !*writeTestdata {
+		t.Skip("pass -write-testdata to regenerate testdata/")
+	}
+	for _, c := range irCases() {
+		buf, err := Marshal(c.model())
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", c.file), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIRModelsMatchConstructors is the tentpole's drift gate: every
+// committed IR file must parse, validate, and lower to a workload
+// byte-identical (canonical serialization AND compiled measurement) to
+// the hand-coded constructor it replaces.
+func TestIRModelsMatchConstructors(t *testing.T) {
+	for _, c := range irCases() {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatalf("missing committed IR (run -write-testdata?): %v", err)
+			}
+			// The committed bytes must match the builder, so the two
+			// cannot drift apart silently.
+			fromBuilder, err := Marshal(c.model())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, fromBuilder) {
+				t.Fatalf("committed %s differs from Go builder; regenerate with -write-testdata", c.file)
+			}
+
+			got, err := LowerBytes(data)
+			if err != nil {
+				t.Fatalf("lowering committed IR: %v", err)
+			}
+			want := c.want()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("lowered workload differs from constructor:\ngot  %d layers\nwant %d layers\n%s",
+					len(got.Layers), len(want.Layers), diffWorkloads(got, want))
+			}
+			if !bytes.Equal(workload.Canonical(got), workload.Canonical(want)) {
+				t.Fatal("canonical serialization differs (DeepEqual passed — canonicalizer bug?)")
+			}
+			if workload.Digest(got) != workload.Digest(want) {
+				t.Fatal("workload digest differs")
+			}
+
+			// The compiled programs must be measurement-identical, so
+			// the golden cycle pins and attestation quotes carry over
+			// unchanged to IR-derived submissions.
+			pg, _, err := npu.Compile(got, npu.DefaultConfig(), 0, npu.DefaultLayout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pw, _, err := npu.Compile(want, npu.DefaultConfig(), 0, npu.DefaultLayout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg.Measurement() != pw.Measurement() {
+				t.Fatal("compiled program measurement differs")
+			}
+		})
+	}
+}
+
+// diffWorkloads renders the first point of divergence for a readable
+// failure message.
+func diffWorkloads(got, want workload.Workload) string {
+	if got.Name != want.Name {
+		return "name: " + got.Name + " vs " + want.Name
+	}
+	n := len(got.Layers)
+	if len(want.Layers) < n {
+		n = len(want.Layers)
+	}
+	for i := 0; i < n; i++ {
+		g, w := got.Layers[i], want.Layers[i]
+		if g.Name != w.Name {
+			return "layer " + g.Name + " vs " + w.Name
+		}
+		if !reflect.DeepEqual(g, w) {
+			m := len(g.GEMMs)
+			if len(w.GEMMs) < m {
+				m = len(w.GEMMs)
+			}
+			for j := 0; j < m; j++ {
+				if g.GEMMs[j] != w.GEMMs[j] {
+					return "layer " + g.Name + ": gemm " +
+						g.GEMMs[j].Name + " vs " + w.GEMMs[j].Name
+				}
+			}
+			return "layer " + g.Name + ": gemm count differs"
+		}
+	}
+	return "layer count differs"
+}
+
+// TestLoadFile exercises the file front door on a committed model.
+func TestLoadFile(t *testing.T) {
+	w, err := LoadFile(filepath.Join("testdata", "alexnet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "alexnet" || len(w.Layers) != 8 {
+		t.Fatalf("unexpected workload %q with %d layers", w.Name, len(w.Layers))
+	}
+	if _, err := LoadFile(filepath.Join("testdata", "no-such-file.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

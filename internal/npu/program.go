@@ -88,10 +88,20 @@ type Program struct {
 	// AccTileBytes is the largest accumulator (output) tile — the
 	// dirty state a context-switch flush must save and restore.
 	AccTileBytes uint64
+	// SourceDigest is the SHA-256 of the canonical serialization of
+	// the lowered workload this program was compiled from
+	// (workload.Digest). Folding it into Measurement binds the
+	// attestation quote to the exact compiled graph — layer names,
+	// GEMM shapes, efficiencies — not just the op stream and model
+	// name, so two graphs that happen to tile to the same ops still
+	// attest distinctly.
+	SourceDigest [sha256.Size]byte
 }
 
-// Measurement hashes the op stream — the code-integrity measurement
-// the NPU Monitor's code verifier checks before loading a secure task.
+// Measurement hashes the source digest and the op stream — the
+// code-integrity measurement the NPU Monitor's code verifier checks
+// before loading a secure task, and the value an attestation quote
+// binds.
 func (p *Program) Measurement() [sha256.Size]byte {
 	h := sha256.New()
 	var buf [8]byte
@@ -100,6 +110,7 @@ func (p *Program) Measurement() [sha256.Size]byte {
 		h.Write(buf[:])
 	}
 	h.Write([]byte(p.Name))
+	h.Write(p.SourceDigest[:])
 	for _, op := range p.Ops {
 		write(uint64(op.Kind))
 		write(uint64(op.VA))
@@ -193,7 +204,8 @@ func Compile(w workload.Workload, cfg Config, spadBudget int, layout Layout) (*P
 		spadBudget = cfg.SpadBytes
 	}
 	dim := cfg.SystolicDim
-	p := &Program{Name: w.Name, Layers: len(w.Layers), SpadBytes: spadBudget}
+	p := &Program{Name: w.Name, Layers: len(w.Layers), SpadBytes: spadBudget,
+		SourceDigest: workload.Digest(w)}
 	var st CompileStats
 	weightOff := uint64(0)
 	actOff := uint64(0)

@@ -75,8 +75,14 @@ type Request struct {
 	// Tenant names the submitting tenant; per-tenant queues and the
 	// fairness metric key off it.
 	Tenant string
-	// Model is a built-in workload name.
+	// Model is a built-in workload name. When Workload is set, Model is
+	// a display label only and defaults to Workload.Name.
 	Model string
+	// Workload, when non-nil, is a custom (graph-IR-derived) workload to
+	// run instead of a registry model. Submit validates it and takes a
+	// private deep copy; secure custom workloads batch only with
+	// requests compiled from a byte-identical graph.
+	Workload *workload.Workload
 	// Secure routes the request through the NPU Monitor.
 	Secure   bool
 	Priority Priority
@@ -371,7 +377,16 @@ func (s *Scheduler) Submit(r Request) error {
 	if !s.cfg.Breaker.Allow(r.Tenant) {
 		return fmt.Errorf("%w: %s", ErrTenantQuarantined, r.Tenant)
 	}
-	if _, err := workload.ByNameExtended(r.Model); err != nil {
+	if r.Workload != nil {
+		if err := r.Workload.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if r.Model == "" {
+			r.Model = r.Workload.Name
+		}
+		clone := r.Workload.Clone()
+		r.Workload = &clone
+	} else if _, err := workload.Lookup(r.Model); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if r.Secure {
@@ -578,6 +593,15 @@ func (s *Scheduler) outstanding() int {
 	return n
 }
 
+// workload resolves the request's workload: the submitted custom graph
+// when one was attached, the registry model otherwise.
+func (rs *reqState) workload() (workload.Workload, error) {
+	if rs.req.Workload != nil {
+		return *rs.req.Workload, nil
+	}
+	return workload.Lookup(rs.req.Model)
+}
+
 // prepare compiles every request's program on a worker pool.
 // Compilation is pure — the pool width cannot change any result — and
 // per-request layouts keep VA spans non-aliasing (secure programs use
@@ -598,7 +622,7 @@ func (s *Scheduler) prepare() {
 		if rs.terminal { // shed at submit time: nothing to compile
 			return
 		}
-		wl, err := workload.ByNameExtended(rs.req.Model)
+		wl, err := rs.workload()
 		if err != nil {
 			rs.errMsg = err.Error()
 			return
@@ -719,7 +743,7 @@ func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
 		s.decide(at, -1, "admit", rs, "secure")
 		return
 	}
-	wl, _ := workload.ByNameExtended(rs.req.Model)
+	wl, _ := rs.workload()
 	task, err := s.deps.Driver.SubmitProgram(wl, rs.prog, false)
 	if err != nil {
 		if errors.Is(err, mem.ErrNoSpace) {
@@ -740,7 +764,12 @@ func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
 }
 
 // joinableBatch finds an open secure job this request may ride:
-// same tenant, model, and key, with batch room, not yet torn down.
+// same tenant, model, key, and compiled source digest, with batch
+// room, not yet torn down. The digest check is what makes batching
+// safe for graph-submitted workloads: two custom graphs may share a
+// display name, but only byte-identical lowered sources may share one
+// FnSubmit. For registry models the name already implies the digest,
+// so the extra check never changes a built-in schedule.
 func (s *Scheduler) joinableBatch(rs *reqState) *job {
 	if s.cfg.MaxBatch <= 1 {
 		return nil
@@ -751,7 +780,8 @@ func (s *Scheduler) joinableBatch(rs *reqState) *job {
 		}
 		lead := j.lead()
 		if lead.req.Tenant == rs.req.Tenant && lead.req.Model == rs.req.Model &&
-			lead.req.KeyID == rs.req.KeyID {
+			lead.req.KeyID == rs.req.KeyID &&
+			lead.prog.SourceDigest == rs.prog.SourceDigest {
 			return j
 		}
 	}

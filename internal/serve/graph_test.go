@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	snpu "repro"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+const tinyGraphIR = `{
+	"ir": 1, "name": "tinycnn",
+	"inputs": [{"name": "image", "shape": [1, 3, 32, 32]}],
+	"nodes": [
+		{"name": "conv1", "op": "Conv", "inputs": ["image"],
+		 "attrs": {"filters": 16, "kernel": 3, "stride": 1, "pad": 1}},
+		{"name": "pool1", "op": "Pool", "inputs": ["conv1"], "attrs": {"kernel": 2}},
+		{"name": "fc", "op": "FC", "inputs": ["pool1"], "attrs": {"out": 10}}
+	],
+	"outputs": ["fc"]
+}`
+
+// An inline-IR submission runs end-to-end, secure: key provisioning,
+// graph compilation, monitor-attested execution, result retrieval.
+func TestServeInlineGraphSecureEndToEnd(t *testing.T) {
+	_, h := bootServer(t)
+
+	key := bytes.Repeat([]byte{9}, snpu.SealKeySize)
+	sealed, err := snpu.SealModel(key, []byte("custom model weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyBody, _ := json.Marshal(KeyRequest{KeyID: "kg", KeyB64: base64.StdEncoding.EncodeToString(key)})
+	if rec := do(t, h, "POST", "/v1/keys", string(keyBody)); rec.Code != http.StatusNoContent {
+		t.Fatalf("keys: %d %s", rec.Code, rec.Body)
+	}
+
+	body, _ := json.Marshal(SubmitRequest{
+		Tenant: "g", Secure: true, KeyID: "kg",
+		SealedB64: base64.StdEncoding.EncodeToString(sealed),
+		Graph:     json.RawMessage(tinyGraphIR),
+	})
+	rec := do(t, h, "POST", "/v1/submit", string(body))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body)
+	}
+	if rec = do(t, h, "POST", "/v1/run", ""); rec.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/v1/result?id=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", rec.Code, rec.Body)
+	}
+	// The display model name is the graph's own name.
+	if !strings.Contains(rec.Body.String(), `"model":"tinycnn"`) {
+		t.Fatalf("result body: %s", rec.Body)
+	}
+}
+
+// Invalid inline IR fails closed with a 4xx before anything reaches
+// the scheduler.
+func TestServeRejectsInvalidGraph(t *testing.T) {
+	_, h := bootServer(t)
+	cases := map[string]string{
+		"syntax":        `{"tenant":"g","graph":{"ir":1,`,
+		"unknown field": `{"tenant":"g","graph":{"ir":1,"name":"x","bogus":true}}`,
+		"unknown op": `{"tenant":"g","graph":{"ir":1,"name":"x",
+			"inputs":[{"name":"t","shape":[4,4]}],
+			"nodes":[{"name":"n","op":"Conv3D","inputs":["t"]}],"outputs":["n"]}}`,
+		"dangling input": `{"tenant":"g","graph":{"ir":1,"name":"x",
+			"inputs":[{"name":"t","shape":[4,4]}],
+			"nodes":[{"name":"n","op":"Gemm","inputs":["ghost"],"attrs":{"out":4}}],"outputs":["n"]}}`,
+		"cycle": `{"tenant":"g","graph":{"ir":1,"name":"x",
+			"inputs":[{"name":"t","shape":[4,4]}],
+			"nodes":[{"name":"a","op":"Relu","inputs":["b"]},
+			         {"name":"b","op":"Gemm","inputs":["a"],"attrs":{"out":4}}],"outputs":["b"]}}`,
+		"no gemm work": `{"tenant":"g","graph":{"ir":1,"name":"x",
+			"inputs":[{"name":"t","shape":[4,4]}],
+			"nodes":[{"name":"a","op":"Relu","inputs":["t"]}],"outputs":["a"]}}`,
+	}
+	for label, body := range cases {
+		rec := do(t, h, "POST", "/v1/submit", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400 (%s)", label, rec.Code, rec.Body)
+		}
+	}
+	// Nothing queued: run must 409.
+	if rec := do(t, h, "POST", "/v1/run", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("run after rejected submits: %d", rec.Code)
+	}
+}
+
+// A registered model is submittable by name and appears in /v1/models
+// with its canonical digest.
+func TestServeRegisteredModel(t *testing.T) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := graph.LowerBytes([]byte(tinyGraphIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Config{Cores: []int{0}, Models: []workload.Workload{custom}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	rec := do(t, h, "GET", "/v1/models", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("models: %d %s", rec.Code, rec.Body)
+	}
+	var infos []ModelInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mi := range infos {
+		if mi.Name == "tinycnn" {
+			found = true
+			if mi.Source != "registered" || mi.GEMMs != 2 || len(mi.Digest) != 64 {
+				t.Fatalf("tinycnn info %+v", mi)
+			}
+		} else if mi.Source != "builtin" {
+			t.Fatalf("unexpected source %+v", mi)
+		}
+	}
+	if !found {
+		t.Fatalf("tinycnn missing from %s", rec.Body)
+	}
+	if len(infos) != len(workload.Names())+1 {
+		t.Fatalf("%d models listed", len(infos))
+	}
+
+	body, _ := json.Marshal(SubmitRequest{Tenant: "r", Model: "tinycnn"})
+	if rec := do(t, h, "POST", "/v1/submit", string(body)); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit registered: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/run", ""); rec.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "GET", "/v1/result?id=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// Registration fail-closes on invalid workloads and name collisions.
+func TestServeRejectsBadRegistrations(t *testing.T) {
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := workload.Workload{Name: "broken"}
+	if _, err := New(sys, Config{Cores: []int{0}, Models: []workload.Workload{bad}}); err == nil {
+		t.Fatal("invalid registered model accepted")
+	}
+	shadow, err := graph.LowerBytes([]byte(tinyGraphIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow.Name = "alexnet"
+	if _, err := New(sys, Config{Cores: []int{0}, Models: []workload.Workload{shadow}}); err == nil {
+		t.Fatal("built-in shadowing accepted")
+	}
+	a, _ := graph.LowerBytes([]byte(tinyGraphIR))
+	b, _ := graph.LowerBytes([]byte(tinyGraphIR))
+	if _, err := New(sys, Config{Cores: []int{0}, Models: []workload.Workload{a, b}}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// GET /v1/models only.
+func TestServeModelsMethod(t *testing.T) {
+	_, h := bootServer(t)
+	if rec := do(t, h, "POST", "/v1/models", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST models: %d", rec.Code)
+	}
+}

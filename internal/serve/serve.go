@@ -11,6 +11,7 @@ package serve
 
 import (
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,9 +21,11 @@ import (
 	"sync"
 
 	snpu "repro"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // MaxBodyBytes caps any request body: the sealed-model cap plus
@@ -50,6 +53,10 @@ type Config struct {
 	// BreakerCooldown episodes; its submissions get 503 + Retry-After.
 	BreakerThreshold int
 	BreakerCooldown  int
+	// Models registers custom (graph-IR-derived) workloads that clients
+	// may then submit by name, exactly like built-ins. New validates
+	// each one and refuses duplicates or built-in name collisions.
+	Models []workload.Workload
 }
 
 // Server accumulates submissions and runs them as scheduler episodes.
@@ -74,6 +81,9 @@ type Server struct {
 	results map[int]sched.Result
 	pending map[int]bool
 
+	// models holds the registered custom workloads by name.
+	models map[string]workload.Workload
+
 	episodes  int
 	completed int
 	rejected  int
@@ -93,6 +103,19 @@ func New(sys *snpu.System, cfg Config) (*Server, error) {
 		sys: sys, cfg: cfg, nextID: 1,
 		results: make(map[int]sched.Result),
 		pending: make(map[int]bool),
+		models:  make(map[string]workload.Workload),
+	}
+	for _, m := range cfg.Models {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: registered model %q: %w", m.Name, err)
+		}
+		if _, err := workload.Lookup(m.Name); err == nil {
+			return nil, fmt.Errorf("serve: registered model %q shadows a built-in", m.Name)
+		}
+		if _, dup := s.models[m.Name]; dup {
+			return nil, fmt.Errorf("serve: registered model %q listed twice", m.Name)
+		}
+		s.models[m.Name] = m.Clone()
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = sched.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
@@ -130,6 +153,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/result", s.handleResult)
+	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -150,6 +174,12 @@ type SubmitRequest struct {
 	KeyID    string `json:"key_id,omitempty"`
 	// SealedB64 is the base64-encoded sealed model blob.
 	SealedB64 string `json:"sealed_b64,omitempty"`
+	// Graph, when present, is an inline graph-IR document (see
+	// internal/graph) compiled server-side; it replaces Model, which
+	// then serves as an optional display label. Invalid IR — syntax,
+	// unknown fields or ops, shape errors, cycles — is a 400; nothing
+	// reaches the scheduler.
+	Graph json.RawMessage `json:"graph,omitempty"`
 }
 
 // KeyRequest is the POST /v1/keys body.
@@ -280,11 +310,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "deadline %d not after arrival %d", req.Deadline, req.Arrival)
 		return
 	}
+	// An inline graph compiles before taking the server lock —
+	// compilation is pure, and a hostile graph should burn no time
+	// inside the critical section.
+	var custom *workload.Workload
+	if len(req.Graph) > 0 {
+		wl, err := graph.LowerBytes(req.Graph)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		custom = &wl
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		writeBackpressure(w, http.StatusServiceUnavailable, "draining: admission sealed")
 		return
+	}
+	// A registered custom model resolves by name when no inline graph
+	// was supplied.
+	if custom == nil {
+		if m, ok := s.models[req.Model]; ok {
+			wl := m.Clone()
+			custom = &wl
+		}
 	}
 	id := req.ID
 	if id == 0 {
@@ -294,6 +344,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ID:       id,
 		Tenant:   req.Tenant,
 		Model:    req.Model,
+		Workload: custom,
 		Secure:   req.Secure,
 		Priority: sched.Priority(req.Priority),
 		Arrival:  sim.Cycle(req.Arrival),
@@ -446,6 +497,58 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is liveness: 200 as long as the process serves HTTP,
 // draining included.
+// ModelInfo is one entry of the GET /v1/models listing. Digest is the
+// hex canonical-workload digest — the same value stamped into a
+// compiled program's SourceDigest and bound by attestation quotes, so
+// a client can pre-verify which graph a name will run.
+type ModelInfo struct {
+	Name   string `json:"name"`
+	Source string `json:"source"` // "builtin" or "registered"
+	Layers int    `json:"layers"`
+	GEMMs  int    `json:"gemms"`
+	Digest string `json:"digest"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var out []ModelInfo
+	for _, name := range workload.Names() {
+		wl, err := workload.Lookup(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out = append(out, modelInfo(wl, "builtin"))
+	}
+	s.mu.Lock()
+	registered := make([]workload.Workload, 0, len(s.models))
+	for _, m := range s.models {
+		registered = append(registered, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(registered, func(i, j int) bool { return registered[i].Name < registered[j].Name })
+	for _, m := range registered {
+		out = append(out, modelInfo(m, "registered"))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func modelInfo(wl workload.Workload, source string) ModelInfo {
+	gemms := 0
+	for _, l := range wl.Layers {
+		gemms += len(l.GEMMs)
+	}
+	d := workload.Digest(wl)
+	return ModelInfo{
+		Name: wl.Name, Source: source,
+		Layers: len(wl.Layers), GEMMs: gemms,
+		Digest: hex.EncodeToString(d[:]),
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")

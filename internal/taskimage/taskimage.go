@@ -30,7 +30,11 @@ const (
 	// Magic identifies a task image ("sNPUTIMG" truncated to 4 bytes).
 	Magic = uint32(0x554e5073) // "sPNU" little-endian
 	// Version is the only format revision this decoder accepts.
-	Version = uint16(1)
+	// Version 2 added the program's 32-byte source digest (the
+	// canonical-graph measurement) to the program section; v1 images
+	// are rejected rather than decoded with a zero digest, so a stale
+	// producer cannot smuggle a program past the graph-binding check.
+	Version = uint16(2)
 	// MaxOps caps the op stream a single image may carry.
 	MaxOps = 4 << 20
 	// MaxModelBytes caps the sealed model payload (64 MiB).
@@ -101,6 +105,7 @@ func Encode(img *Image) ([]byte, error) {
 	u64(uint64(p.SpadBytes))
 	u64(p.LiveSpadBytes)
 	u64(p.AccTileBytes)
+	out = append(out, p.SourceDigest[:]...)
 	u32(uint32(len(p.Ops)))
 	for _, op := range p.Ops {
 		u64(uint64(op.Kind))
@@ -258,6 +263,11 @@ func Decode(buf []byte) (*Image, error) {
 	if p.AccTileBytes, err = d.u64(); err != nil {
 		return nil, err
 	}
+	if d.remaining() < sha256.Size {
+		return nil, ErrTruncated
+	}
+	copy(p.SourceDigest[:], d.buf[d.off:])
+	d.off += sha256.Size
 
 	nOps, err := d.u32()
 	if err != nil {

@@ -63,6 +63,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got.Program.Measurement() != img.Program.Measurement() {
 		t.Fatal("program measurement changed across the wire")
 	}
+	if got.Program.SourceDigest != img.Program.SourceDigest {
+		t.Fatal("source digest lost across the wire")
+	}
+	if got.Program.SourceDigest == ([32]byte{}) {
+		t.Fatal("compiled program carries a zero source digest")
+	}
 	if len(got.Program.Ops) != len(img.Program.Ops) {
 		t.Fatalf("op count %d vs %d", len(got.Program.Ops), len(img.Program.Ops))
 	}
@@ -146,6 +152,7 @@ func TestDecodeRejectsHugeClaims(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		le64(0) // macs, ideal, spad, live, acc
 	}
+	crafted = append(crafted, make([]byte, 32)...) // source digest
 	le32(MaxOps + 1)
 	if _, err := Decode(crafted); !errors.Is(err, ErrOversized) {
 		t.Fatalf("huge op count: %v", err)

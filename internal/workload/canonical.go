@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Canonical serialization of a workload: a deterministic byte string
+// covering everything the compiler consumes — the model name, the
+// layer partitioning, and every GEMM's name, dimensions, and
+// efficiency. Two workloads are byte-identical inputs to npu.Compile
+// if and only if their canonical bytes are equal, so Digest is the
+// provenance measurement the attestation path binds: a quote over a
+// compiled program commits to the exact lowered graph, not just a
+// model name.
+
+// canonicalMagic versions the serialization; bump it if the layout
+// ever changes so old digests cannot collide with new ones.
+var canonicalMagic = []byte("snpu-workload-v1")
+
+// Canonical returns the deterministic serialization of w. It does not
+// validate; callers that need a well-formed workload run Validate
+// first.
+func Canonical(w Workload) []byte {
+	// Pre-size: magic + name + counts + per-layer/GEMM records.
+	n := len(canonicalMagic) + 8 + len(w.Name) + 8
+	for _, l := range w.Layers {
+		n += 8 + len(l.Name) + 8
+		for _, g := range l.GEMMs {
+			n += 8 + len(g.Name) + 4*8
+		}
+	}
+	out := make([]byte, 0, n)
+	u64 := func(v uint64) { out = binary.LittleEndian.AppendUint64(out, v) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		out = append(out, s...)
+	}
+	out = append(out, canonicalMagic...)
+	str(w.Name)
+	u64(uint64(len(w.Layers)))
+	for _, l := range w.Layers {
+		str(l.Name)
+		u64(uint64(len(l.GEMMs)))
+		for _, g := range l.GEMMs {
+			str(g.Name)
+			u64(uint64(g.M))
+			u64(uint64(g.K))
+			u64(uint64(g.N))
+			u64(math.Float64bits(g.Efficiency))
+		}
+	}
+	return out
+}
+
+// Digest is the SHA-256 of the canonical serialization — the
+// source-graph measurement npu.Compile stamps into every Program.
+func Digest(w Workload) [sha256.Size]byte {
+	return sha256.Sum256(Canonical(w))
+}

@@ -88,20 +88,3 @@ func DLRM() Workload {
 	return Workload{Name: "dlrm", Layers: layers}
 }
 
-// Extras returns the additional workloads.
-func Extras() []Workload {
-	return []Workload{VGG16(), GPTSmallDecode(), DLRM()}
-}
-
-// ByNameExtended searches the evaluation set and the extras.
-func ByNameExtended(name string) (Workload, error) {
-	if w, err := ByName(name); err == nil {
-		return w, nil
-	}
-	for _, w := range Extras() {
-		if w.Name == name {
-			return w, nil
-		}
-	}
-	return Workload{}, fmt.Errorf("workload: unknown model %q", name)
-}

@@ -19,12 +19,18 @@ import (
 //	  ]
 //	}
 
+// jsonGEMM always emits efficiency — no omitempty. With omitempty an
+// explicit 0 (meaning "default, 1.0") and an absent field were
+// indistinguishable after Marshal, so Marshal→Read was not the
+// identity on the struct's JSON form; emitting the field
+// unconditionally makes the round trip exact (pinned by
+// TestJSONRoundTripAllModels).
 type jsonGEMM struct {
 	Name       string  `json:"name"`
 	M          int     `json:"m"`
 	K          int     `json:"k"`
 	N          int     `json:"n"`
-	Efficiency float64 `json:"efficiency,omitempty"`
+	Efficiency float64 `json:"efficiency"`
 }
 
 type jsonLayer struct {

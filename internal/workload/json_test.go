@@ -2,9 +2,47 @@ package workload
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// TestJSONRoundTripAllModels pins Marshal→Read as the exact identity
+// over every built-in model: the parsed struct deep-equals the
+// original (explicit-vs-default efficiency included, now that the
+// efficiency field is emitted unconditionally), and a second Marshal
+// is byte-identical to the first.
+func TestJSONRoundTripAllModels(t *testing.T) {
+	models := append(All(), Extras()...)
+	// An explicit-efficiency edge case: 1.0 written out must survive as
+	// exactly 1.0, distinct from the 0 default with the same Eff().
+	models = append(models, Workload{Name: "explicit-eff", Layers: []Layer{{
+		Name: "l0", GEMMs: []GEMM{
+			{Name: "g0", M: 8, K: 8, N: 8, Efficiency: 1.0},
+			{Name: "g1", M: 8, K: 8, N: 8},
+		},
+	}}})
+	for _, w := range models {
+		buf, err := MarshalJSONWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", w.Name, err)
+		}
+		got, err := ReadJSONWorkload(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%s: read: %v", w.Name, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("%s: Marshal→Read is not the identity", w.Name)
+		}
+		buf2, err := MarshalJSONWorkload(got)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", w.Name, err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("%s: double marshal not byte-identical", w.Name)
+		}
+	}
+}
 
 func TestJSONRoundTrip(t *testing.T) {
 	w := MobileNet()

@@ -186,17 +186,3 @@ func BERT(cfg BERTConfig) Workload {
 	return Workload{Name: "bert", Layers: layers}
 }
 
-// All returns the six evaluation workloads in the paper's order.
-func All() []Workload {
-	return []Workload{GoogleNet(), AlexNet(), YOLOLite(), MobileNet(), ResNet(), BERT(BERTBase)}
-}
-
-// ByName finds a workload from All by name.
-func ByName(name string) (Workload, error) {
-	for _, w := range All() {
-		if w.Name == name {
-			return w, nil
-		}
-	}
-	return Workload{}, fmt.Errorf("workload: unknown model %q", name)
-}

@@ -270,7 +270,7 @@ func ExtraWorkloads() []string {
 // 0: the driver compiles and allocates it, asks the monitor (via the
 // trampoline) to program the core's translation window, and executes.
 func (s *System) RunModel(name string) (InferenceResult, error) {
-	w, err := workload.ByNameExtended(name)
+	w, err := workload.Lookup(name)
 	if err != nil {
 		return InferenceResult{}, err
 	}
@@ -333,10 +333,16 @@ func (s *System) mapNonSecure(core int, task *driver.Task) error {
 // compute tiles, stores) to w — open it in chrome://tracing or
 // Perfetto.
 func (s *System) RunModelTraced(name string, w io.Writer) (InferenceResult, error) {
-	wl, err := workload.ByNameExtended(name)
+	wl, err := workload.Lookup(name)
 	if err != nil {
 		return InferenceResult{}, err
 	}
+	return s.RunWorkloadTraced(wl, w)
+}
+
+// RunWorkloadTraced is RunModelTraced for a caller-provided workload
+// (e.g. one lowered from a graph-IR file).
+func (s *System) RunWorkloadTraced(wl workload.Workload, w io.Writer) (InferenceResult, error) {
 	s.acc.ResetTiming()
 	task, err := s.drv.Submit(wl, 0, false)
 	if err != nil {
@@ -444,11 +450,23 @@ func (s *System) VerifyAttestation(r AttestationReport, expectedTask [32]byte, n
 // the sealed model decrypts inside the secure world, and the task
 // queues for loading.
 func (s *System) SubmitSecure(name, keyID string, sealedModel []byte) (*SecureTaskHandle, error) {
+	w, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.SubmitSecureWorkload(w, keyID, sealedModel)
+}
+
+// SubmitSecureWorkload is SubmitSecure for a caller-provided workload —
+// typically one lowered from a graph-IR document (internal/graph). The
+// compiled program's measurement covers the workload's canonical
+// digest, so the attestation quote binds the exact submitted graph,
+// not just its display name.
+func (s *System) SubmitSecureWorkload(w workload.Workload, keyID string, sealedModel []byte) (*SecureTaskHandle, error) {
 	if s.mon == nil {
 		return nil, fmt.Errorf("snpu: baseline system has no monitor")
 	}
-	w, err := workload.ByNameExtended(name)
-	if err != nil {
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	prog, _, err := npu.CompileCached(w, s.cfg.NPU, 0, npu.DefaultLayout)
@@ -533,7 +551,7 @@ const shmWindowVA = mem.VirtAddr(0x8100_0000)
 // per mode. On protected systems the monitor programs each core's
 // Guarder with the slice's window plus the shared-memory window.
 func (s *System) RunModelParallel(name string, cores []int, mode TransferMode) (ModelParallelResult, error) {
-	w, err := workload.ByNameExtended(name)
+	w, err := workload.Lookup(name)
 	if err != nil {
 		return ModelParallelResult{}, err
 	}
@@ -601,11 +619,11 @@ func (s *System) NewScheduler(cfg sched.Config) (*sched.Scheduler, error) {
 // sharing; with flush=true it is the TrustZone-NPU strawman paying
 // save/restore on every switch.
 func (s *System) TimeShare(nameA, nameB string, gran FlushGranularity, flush bool) (TimeShareResult, error) {
-	wa, err := workload.ByNameExtended(nameA)
+	wa, err := workload.Lookup(nameA)
 	if err != nil {
 		return TimeShareResult{}, err
 	}
-	wb, err := workload.ByNameExtended(nameB)
+	wb, err := workload.Lookup(nameB)
 	if err != nil {
 		return TimeShareResult{}, err
 	}
