@@ -8,6 +8,7 @@ package snpu
 // comparison; cmd/snpu-bench prints the full tables.
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -370,6 +371,25 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 	}
 	for _, r := range res.Rows {
 		b.ReportMetric(r.Value, metricName(r.Unit, r.Param))
+	}
+}
+
+// BenchmarkDecodeServing regenerates the decode sweep (beyond-paper)
+// and reports each batch point's token throughput and inter-token
+// tail as custom metrics.
+func BenchmarkDecodeServing(b *testing.B) {
+	var res *DecodeBenchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = DecodeBench(1, DecodeBenchConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		param := "batch" + strconv.Itoa(row.MaxBatch)
+		b.ReportMetric(row.TokensPerSec, metricName("tok-per-sec", param))
+		b.ReportMetric(float64(row.P99ITL), metricName("p99-itl-cyc", param))
 	}
 }
 

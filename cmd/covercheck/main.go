@@ -27,11 +27,12 @@ import (
 // aspirations: dropping below one means tests were lost or a large
 // untested surface was added to a trust-critical package.
 var floors = map[string]float64{
-	"repro/internal/graph":   80,
-	"repro/internal/sched":   75,
-	"repro/internal/serve":   80,
-	"repro/internal/monitor": 80,
-	"repro/internal/spad":    90,
+	"repro/internal/graph":    80,
+	"repro/internal/sched":    75,
+	"repro/internal/serve":    80,
+	"repro/internal/monitor":  80,
+	"repro/internal/spad":     90,
+	"repro/internal/workload": 80,
 }
 
 // pkgCov accumulates statement counts for one package.

@@ -82,6 +82,15 @@ type BenchSnapshot struct {
 	// it (simulated-cycle quantities, so they are seed-deterministic
 	// rather than wall-time noise; older snapshots simply omit it).
 	Resilience *ResilienceSummary `json:"resilience,omitempty"`
+	// Decode summarizes the decode sweep when the run included it
+	// (seed-deterministic simulated-cycle quantities, like Resilience).
+	Decode *DecodeSummary `json:"decode,omitempty"`
+	// SpeedupGate records the -gate-speedup verdict so the snapshot is
+	// self-describing: "pass", "fail", or an explicit skip marker like
+	// "skipped: NumCPU<4" — a snapshot from a small runner must not
+	// read as if the gate was evaluated and met. Empty when the run
+	// did not ask for the gate.
+	SpeedupGate string `json:"speedup_gate,omitempty"`
 }
 
 // ResilienceSummary condenses the resilience sweep into the snapshot:
@@ -98,9 +107,43 @@ type ResilienceSummary struct {
 	Aborted        int     `json:"aborted"`
 }
 
+// DecodeSummary condenses the decode sweep into the snapshot: the
+// widest-batch row's token throughput and inter-token tail, plus
+// sweep-total batching activity. All simulated-cycle quantities, so
+// they are seed-deterministic rather than wall-time noise.
+type DecodeSummary struct {
+	Seed int64 `json:"seed"`
+	// MaxBatch is the widest batch point; TokensPerSec and P99ITLCycles
+	// are that row's headline numbers (1 GHz cycle model).
+	MaxBatch     int     `json:"max_batch"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	P99ITLCycles int64   `json:"p99_inter_token_cycles"`
+	Tokens       int     `json:"tokens"`
+	Joins        int     `json:"joins"`
+	BatchedRuns  int     `json:"batched_runs"`
+}
+
 // lastResilience is filled by the resilience experiment spec as it
 // runs; newSnapshot folds it into the written snapshot.
 var lastResilience *ResilienceSummary
+
+// lastDecode is the decode sweep's counterpart.
+var lastDecode *DecodeSummary
+
+func recordDecodeSummary(res *snpu.DecodeBenchResult) {
+	sum := &DecodeSummary{Seed: res.Seed}
+	for _, row := range res.Rows {
+		if row.MaxBatch >= sum.MaxBatch {
+			sum.MaxBatch = row.MaxBatch
+			sum.TokensPerSec = row.TokensPerSec
+			sum.P99ITLCycles = int64(row.P99ITL)
+			sum.Tokens = row.Tokens
+		}
+		sum.Joins += row.Joins
+		sum.BatchedRuns += row.BatchedRuns
+	}
+	lastDecode = sum
+}
 
 func recordResilienceSummary(res *snpu.ResilienceBenchResult) {
 	sum := &ResilienceSummary{Seed: res.Seed, Cells: len(res.Rows)}
@@ -166,6 +209,7 @@ func newSnapshot(jobs int, measured, seqMeasured []BenchExperiment) BenchSnapsho
 		SeqExperiments: seqMeasured,
 		Speedup:        1,
 		Resilience:     lastResilience,
+		Decode:         lastDecode,
 	}
 	socHits, socMisses := experiments.PoolCounters()
 	sysHits, sysMisses := snpu.SystemPoolCounters()
@@ -214,6 +258,26 @@ func readSnapshot(path string) (BenchSnapshot, error) {
 		return BenchSnapshot{}, fmt.Errorf("%s: unknown schema %q", path, snap.Schema)
 	}
 	return snap, nil
+}
+
+// speedupGateStatus evaluates the -gate-speedup verdict recorded in
+// the snapshot's speedup_gate field. The explicit skip markers are part
+// of the snapshot contract: a run on a small CI runner must record
+// "skipped: NumCPU<4" rather than read as if the gate was met. Empty
+// when the gate was not requested.
+func speedupGateStatus(gate float64, numCPU, seqExperiments int, speedup float64) string {
+	switch {
+	case gate <= 0:
+		return ""
+	case numCPU < 4:
+		return "skipped: NumCPU<4"
+	case seqExperiments == 0:
+		return "skipped: no sequential reference pass (need -bench-json and -j > 1)"
+	case speedup < gate:
+		return fmt.Sprintf("fail: speedup %.2f below gate %.2f", speedup, gate)
+	default:
+		return fmt.Sprintf("pass: speedup %.2f meets gate %.2f", speedup, gate)
+	}
 }
 
 // regressionFloorNS ignores experiments whose baseline wall time is in

@@ -84,6 +84,57 @@ func TestDifferentialResilienceSweep(t *testing.T) {
 	}
 }
 
+// TestDifferentialDecodeSweep re-checks the contract on the decode
+// experiment alone: continuous batching, KV claims, and per-token
+// timing must render byte-identically at any pool width.
+func TestDifferentialDecodeSweep(t *testing.T) {
+	opts := options{exp: "decode", seed: 3, small: testing.Short()}
+	seq := renderSuite(t, opts, 1)
+	par := renderSuite(t, opts, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("decode(seed=3) differs between -j 1 and -j 4:\n%s", firstDiff(seq, par))
+	}
+	if !bytes.Contains(seq, []byte("seed 3")) {
+		t.Fatal("decode output does not mention its seed")
+	}
+	for _, col := range []string{"tok/s@1GHz", "p99-itl-cyc", "joins"} {
+		if !bytes.Contains(seq, []byte(col)) {
+			t.Fatalf("decode table missing %q column:\n%s", col, seq)
+		}
+	}
+}
+
+// TestSpeedupGateStatus pins the gate's verdict strings — in
+// particular the explicit skip marker a small CI runner must record in
+// the BENCH JSON instead of silently passing.
+func TestSpeedupGateStatus(t *testing.T) {
+	cases := []struct {
+		name    string
+		gate    float64
+		numCPU  int
+		seqExps int
+		speedup float64
+		want    string
+	}{
+		{"disabled", 0, 16, 3, 2.0, ""},
+		{"small-runner", 1.5, 2, 3, 2.0, "skipped: NumCPU<4"},
+		{"small-runner-3cpu", 1.5, 3, 3, 2.0, "skipped: NumCPU<4"},
+		{"no-reference", 1.5, 16, 0, 2.0, "skipped: no sequential reference pass (need -bench-json and -j > 1)"},
+		{"fail", 1.5, 16, 3, 1.2, "fail: speedup 1.20 below gate 1.50"},
+		{"pass", 1.5, 16, 3, 2.0, "pass: speedup 2.00 meets gate 1.50"},
+	}
+	for _, c := range cases {
+		if got := speedupGateStatus(c.gate, c.numCPU, c.seqExps, c.speedup); got != c.want {
+			t.Fatalf("%s: speedupGateStatus = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// The small-runner skip outranks every other condition: a 2-CPU box
+	// with a failing speedup still records the skip, never "fail".
+	if got := speedupGateStatus(1.5, 2, 3, 0.5); got != "skipped: NumCPU<4" {
+		t.Fatalf("skip precedence violated: %q", got)
+	}
+}
+
 // TestBenchSnapshotRoundTrip covers the -bench-json emitter: a
 // snapshot survives write/read and the regression comparator flags
 // only genuine >2x slowdowns.
@@ -110,6 +161,8 @@ func TestBenchSnapshotRoundTrip(t *testing.T) {
 	if len(snap.SeqExperiments) != 2 {
 		t.Fatalf("SeqExperiments = %d entries, want 2", len(snap.SeqExperiments))
 	}
+	snap.SpeedupGate = "skipped: NumCPU<4"
+	snap.Decode = &DecodeSummary{Seed: 1, MaxBatch: 4, TokensPerSec: 3414, P99ITLCycles: 66117, Tokens: 45}
 	path := t.TempDir() + "/BENCH_test.json"
 	if err := writeSnapshot(path, snap); err != nil {
 		t.Fatal(err)
@@ -120,6 +173,12 @@ func TestBenchSnapshotRoundTrip(t *testing.T) {
 	}
 	if back.Jobs != 4 || len(back.Experiments) != 2 {
 		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if back.SpeedupGate != "skipped: NumCPU<4" {
+		t.Fatalf("round-trip lost the gate marker: %q", back.SpeedupGate)
+	}
+	if back.Decode == nil || back.Decode.MaxBatch != 4 || back.Decode.P99ITLCycles != 66117 {
+		t.Fatalf("round-trip lost the decode summary: %+v", back.Decode)
 	}
 
 	// 3x regression on fig13 must trip; fig16 is under the noise floor

@@ -1,0 +1,246 @@
+package snpu
+
+// The decode experiment: autoregressive decode served through the
+// multi-tenant scheduler with KV-cache residency and continuous
+// batching, swept over the batch width. Each row replays the same
+// seeded request trace, so the sweep isolates what batching buys:
+// tokens/sec (1 GHz cycle model) rises with MaxBatch while the
+// inter-token tail stretches as members interleave. Serving is beyond
+// the paper; the sweep exists to exercise §IV-B KV window residency
+// under preemption and to pin per-token cycle determinism (the same
+// seed yields a byte-identical table at any -j width).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DecodeBenchConfig tunes the decode sweep. The zero value selects the
+// defaults below.
+type DecodeBenchConfig struct {
+	// Requests per batch point (default 10).
+	Requests int
+	// Batches are the MaxBatch widths to sweep (default 1, 2, 4).
+	Batches []int
+	// Cores for the scheduler (default 0, 1).
+	Cores []int
+	// Tenants is the number of submitting tenants (default 2); each
+	// tenant decodes its own spec, so batches never mix specs.
+	Tenants int
+}
+
+func (c DecodeBenchConfig) withDefaults() DecodeBenchConfig {
+	if c.Requests <= 0 {
+		c.Requests = 10
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = []int{1, 2, 4}
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = []int{0, 1}
+	}
+	if c.Tenants <= 0 || c.Tenants > 4 {
+		c.Tenants = 2
+	}
+	return c
+}
+
+// decodeSpecFor is the per-tenant decode geometry: small enough that a
+// sweep cell stays fast, distinct enough that the same-spec batching
+// guard is load-bearing.
+func decodeSpecFor(tenant int) workload.DecodeSpec {
+	return workload.DecodeSpec{
+		Layers: 1,
+		Hidden: 64,
+		Heads:  4,
+		FFN:    128,
+		Prompt: 8 + 4*tenant,
+		Steps:  3 + tenant,
+	}
+}
+
+// DecodeBenchRow is one batch-width point.
+type DecodeBenchRow struct {
+	MaxBatch  int
+	Requests  int
+	Completed int
+	// Tokens is the total autoregressive tokens retired.
+	Tokens   int
+	Makespan sim.Cycle
+	// TokensPerSec is tokens over makespan at the 1 GHz cycle model
+	// (one cycle = one nanosecond).
+	TokensPerSec float64
+	// P50ITL / P99ITL are percentiles of the inter-token latency: the
+	// cycle gaps between a request's consecutive token retirements.
+	P50ITL, P99ITL sim.Cycle
+	// Joins counts mid-run continuous-batching admissions; BatchedRuns
+	// counts requests that shared a batch-mate's FnSubmit.
+	Joins       int
+	BatchedRuns int
+	Preemptions int
+	FlushCycles sim.Cycle
+}
+
+// DecodeBenchResult is the full sweep.
+type DecodeBenchResult struct {
+	Seed int64
+	Rows []DecodeBenchRow
+}
+
+// TableString renders the sweep.
+func (r *DecodeBenchResult) TableString() string {
+	header := []string{"batch", "reqs", "done", "tokens", "makespan-cyc",
+		"tok/s@1GHz", "p50-itl-cyc", "p99-itl-cyc", "joins", "batched", "preempts", "flush-cyc"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.MaxBatch),
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Tokens),
+			fmt.Sprintf("%d", row.Makespan),
+			fmt.Sprintf("%.0f", row.TokensPerSec),
+			fmt.Sprintf("%d", row.P50ITL),
+			fmt.Sprintf("%d", row.P99ITL),
+			fmt.Sprintf("%d", row.Joins),
+			fmt.Sprintf("%d", row.BatchedRuns),
+			fmt.Sprintf("%d", row.Preemptions),
+			fmt.Sprintf("%d", row.FlushCycles),
+		})
+	}
+	return experiments.Table(header, rows)
+}
+
+// DecodeTrace generates the deterministic decode trace shared by every
+// batch point: n decode requests round-robined over tenants with
+// staggered arrivals (so later requests join running batches), plus
+// one higher-priority plain secure request per episode that preempts a
+// decode batch mid-stream — proving KV residency costs show up in the
+// measured inter-token tail, not in correctness. Exposed so the
+// differential tests can replay the exact trace the bench ran.
+func DecodeTrace(seed int64, n, tenants int) []sched.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]sched.Request, 0, n+1)
+	var at float64
+	for i := 1; i <= n; i++ {
+		at += rng.ExpFloat64() * 60_000
+		tenant := rng.Intn(tenants)
+		spec := decodeSpecFor(tenant)
+		reqs = append(reqs, sched.Request{
+			ID:       i,
+			Tenant:   fmt.Sprintf("t%d", tenant),
+			Secure:   true,
+			Decode:   &spec,
+			Arrival:  sim.Cycle(at),
+			Priority: sched.Priority(rng.Intn(2)),
+		})
+	}
+	reqs = append(reqs, sched.Request{
+		ID: n + 1, Tenant: "t0", Model: "mobilenet", Secure: true, Priority: 6,
+		KeyID:   "t0-key",
+		Arrival: sim.Cycle(at / 2),
+	})
+	return reqs
+}
+
+// DecodeBench runs the batch-width sweep. Each point boots a fresh
+// protected SoC (through the pool), replays the seeded trace through a
+// scheduler episode, and summarizes per-token timing.
+func DecodeBench(seed int64, cfg DecodeBenchConfig) (*DecodeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &DecodeBenchResult{Seed: seed}
+	for _, batch := range cfg.Batches {
+		row, err := decodeBatchPoint(seed, batch, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("decode batch %d: %w", batch, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func decodeBatchPoint(seed int64, batch int, cfg DecodeBenchConfig) (DecodeBenchRow, error) {
+	sys, err := acquireSystem(DefaultConfig())
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	defer sys.release()
+	key := ChaosKey(seed)
+	if err := sys.ProvisionKey("t0-key", key); err != nil {
+		return DecodeBenchRow{}, err
+	}
+	sealed, err := SealModel(key, []byte("decode preemptor model"))
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	sc, err := sys.NewScheduler(sched.Config{Cores: cfg.Cores, MaxBatch: batch})
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	for _, r := range DecodeTrace(seed, cfg.Requests, cfg.Tenants) {
+		if r.Decode == nil {
+			r.Sealed = sealed
+		}
+		if err := sc.Submit(r); err != nil {
+			return DecodeBenchRow{}, err
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	return summarizeDecode(batch, rep), nil
+}
+
+func summarizeDecode(batch int, rep *sched.Report) DecodeBenchRow {
+	row := DecodeBenchRow{
+		MaxBatch:    batch,
+		Requests:    len(rep.Results),
+		Completed:   rep.Completed,
+		Tokens:      rep.Tokens,
+		Makespan:    rep.Makespan,
+		BatchedRuns: rep.BatchedRuns,
+		Preemptions: rep.Preemptions,
+		FlushCycles: rep.FlushCycles,
+	}
+	for _, d := range rep.Decisions {
+		if d.Event == "join" {
+			row.Joins++
+		}
+	}
+	if row.Makespan > 0 {
+		// 1 GHz cycle model: one cycle is one nanosecond.
+		row.TokensPerSec = float64(row.Tokens) * 1e9 / float64(row.Makespan)
+	}
+	row.P50ITL, row.P99ITL = interTokenPercentiles(rep.TokenTimes)
+	return row
+}
+
+// interTokenPercentiles pools every request's consecutive token-retire
+// gaps and returns the p50/p99 of the pooled distribution. Request IDs
+// are walked in sorted order so the pooling is deterministic.
+func interTokenPercentiles(tokenTimes map[int][]sim.Cycle) (p50, p99 sim.Cycle) {
+	ids := make([]int, 0, len(tokenTimes))
+	for id := range tokenTimes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var gaps []sim.Cycle
+	for _, id := range ids {
+		times := tokenTimes[id]
+		for i := 1; i < len(times); i++ {
+			gaps = append(gaps, times[i]-times[i-1])
+		}
+	}
+	if len(gaps) == 0 {
+		return 0, 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2], gaps[(len(gaps)*99)/100]
+}

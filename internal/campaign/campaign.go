@@ -205,7 +205,7 @@ func Execute(sc Scenario) (*Outcome, error) {
 	secureModels := map[string]bool{}
 	accepted := 0
 	for _, r := range sc.Requests {
-		if r.Secure {
+		if r.Secure && r.Decode == nil {
 			r.Sealed = sealedBy[r.KeyID]
 			secureModels[r.Model] = true
 		}
@@ -230,6 +230,12 @@ func Execute(sc Scenario) (*Outcome, error) {
 	if n := sys.Monitor().QueueLen(); n != 0 {
 		p.violatef("end-of-run: %d tasks still queued in the monitor", n)
 	}
+	// KV hygiene: every resident KV window must have been released (and
+	// scrubbed) by the time the episode drains — a surviving region is a
+	// leaked tenant cache.
+	if regions := sys.Monitor().KVRegions(); len(regions) != 0 {
+		p.violatef("end-of-run: %d KV windows still resident: %+v", len(regions), regions)
+	}
 	checkAttestation(sys, sc, secureModels, p)
 
 	runMonitorLeg(sys, sc, p)
@@ -253,8 +259,12 @@ func checkResults(rep *sched.Report, sc Scenario, accepted int, p *probe) {
 		p.violatef("results for %d of %d accepted requests", len(rep.Results), accepted)
 	}
 	deadline := map[int]int64{}
+	decodeSteps := map[int]int{}
 	for _, r := range sc.Requests {
 		deadline[r.ID] = int64(r.Deadline)
+		if r.Decode != nil {
+			decodeSteps[r.ID] = r.Decode.Steps
+		}
 	}
 	for _, r := range rep.Results {
 		states := 0
@@ -272,6 +282,23 @@ func checkResults(rep *sched.Report, sc Scenario, accepted int, p *probe) {
 			}
 			if dl := deadline[r.ID]; dl > 0 && int64(r.Finish) > dl {
 				p.violatef("req %d completed at %d past its deadline %d", r.ID, r.Finish, dl)
+			}
+			// A completed decode request streams its full token budget:
+			// the prefill token plus one per decode step — no more, no
+			// fewer, regardless of batching, joins, or preemptions.
+			if steps, ok := decodeSteps[r.ID]; ok && r.Tokens != steps+1 {
+				p.violatef("decode req %d completed with %d tokens, want %d", r.ID, r.Tokens, steps+1)
+			}
+			if times := rep.TokenTimes[r.ID]; len(times) > 0 {
+				for i := 1; i < len(times); i++ {
+					if times[i] <= times[i-1] {
+						p.violatef("decode req %d token %d retired at %d, not after token %d at %d",
+							r.ID, i, times[i], i-1, times[i-1])
+					}
+				}
+				if last := times[len(times)-1]; int64(last) != int64(r.Finish) {
+					p.violatef("decode req %d last token at %d but finished at %d", r.ID, last, r.Finish)
+				}
 			}
 		}
 		if r.Aborted && r.Err != sched.ErrTaskAborted.Error() {
@@ -302,7 +329,8 @@ func checkDecisions(rep *sched.Report, sc Scenario, p *probe) {
 	}
 	for _, d := range rep.Decisions {
 		switch d.Event {
-		case "admit", "batch", "dispatch", "resume", "complete":
+		case "admit", "batch", "dispatch", "resume", "complete",
+			"join", "token", "leave", "kv_alloc":
 			if at, ok := arrival[d.Req]; ok && int64(d.Cycle) < at {
 				p.violatef("decision %q for req %d at cycle %d, before its arrival %d",
 					d.Event, d.Req, d.Cycle, at)
@@ -458,8 +486,18 @@ func runServeLeg(sys *snpu.System, sc Scenario, sealedBy map[string][]byte, p *p
 		}
 		if r.Secure {
 			body["secure"] = true
-			body["key_id"] = r.KeyID
-			body["sealed_b64"] = b64(sealedBy[r.KeyID])
+			if r.Decode == nil {
+				body["key_id"] = r.KeyID
+				body["sealed_b64"] = b64(sealedBy[r.KeyID])
+			}
+		}
+		if r.Decode != nil {
+			delete(body, "model")
+			body["decode"] = map[string]any{
+				"layers": r.Decode.Layers, "hidden": r.Decode.Hidden,
+				"heads": r.Decode.Heads, "ffn": r.Decode.FFN,
+				"prompt": r.Decode.Prompt, "steps": r.Decode.Steps,
+			}
 		}
 		rec := do("POST", "/v1/submit", body)
 		switch sc.Serve {

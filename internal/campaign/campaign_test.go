@@ -21,6 +21,9 @@ func TestDecodeBoundsOnArbitraryInput(t *testing.T) {
 		[]byte("not a scenario at all, just prose"),
 		{flagGenerated, 0x01},
 		{flagMonLeg | flagChaos | flagServeLo | flagServeHi, 0xee, 0xdd},
+		{flagDecodeLeg, 0x07, 0x02, 0x02, 0x03, 0x01, 0x00, 0x04, 0x02,
+			0x10, 0x20, 0x30, 0x40, 0x01, 0x00, 0x01, 0xfc, 0xaa, 0xbb, 0xcc, 0xdd},
+		{flagDecodeLeg | flagChaos | flagServeLo, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
 	}
 	for i, in := range inputs {
 		sc := Decode(in)
@@ -49,8 +52,16 @@ func TestDecodeBoundsOnArbitraryInput(t *testing.T) {
 			if r.Deadline > 0 && r.Deadline <= r.Arrival {
 				t.Fatalf("input %d: invalid deadline %+v", i, r)
 			}
-			if r.Secure && r.KeyID == "" {
+			if r.Secure && r.KeyID == "" && r.Decode == nil {
 				t.Fatalf("input %d: secure request without key %+v", i, r)
+			}
+			if r.Decode != nil {
+				if !r.Secure || r.Model != "" || r.KeyID != "" {
+					t.Fatalf("input %d: malformed decode request %+v", i, r)
+				}
+				if err := r.Decode.Validate(); err != nil {
+					t.Fatalf("input %d: decoded invalid decode spec: %v", i, err)
+				}
 			}
 		}
 		if len(sc.MonCalls) > maxMonCalls {
@@ -72,6 +83,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		"hostile-monitor": HostileMonitorScenario(),
 		"drain-race":      DrainRaceScenario(),
 		"serve-rejected":  ServeRejectedScenario(),
+		"kv-residency":    KVResidencyScenario(),
+		"decode-serve":    DecodeServeScenario(),
 		"kitchen-sink": {
 			Seed: 200, Cores: 3, Tenants: 3, MaxBatch: 4, MaxRestarts: 2,
 			MaxQueuePerTenant: 4, Breaker: true,
@@ -138,6 +151,23 @@ func TestSeedScenariosExerciseTheirBugPaths(t *testing.T) {
 		}
 		if r := out.Report.ResultByID(1); r == nil || !r.Rejected {
 			t.Fatalf("infeasible-deadline request was not rejected at admission: %+v", r)
+		}
+	})
+	t.Run("kv-residency", func(t *testing.T) {
+		out, err := Execute(KVResidencyScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := out.Report.DecisionLog()
+		for _, want := range []string{"kv_alloc", "join", "token", "leave", "kv_scrub", "preempt", "resume"} {
+			if !strings.Contains(log, want) {
+				t.Fatalf("kv-residency schedule never emitted %q:\n%s", want, log)
+			}
+		}
+		for id, wantTokens := range map[int]int{1: 4, 2: 5, 3: 4} {
+			if r := out.Report.ResultByID(id); r == nil || !r.Completed || r.Tokens != wantTokens {
+				t.Fatalf("decode req %d: %+v, want completed with %d tokens", id, r, wantTokens)
+			}
 		}
 	})
 	t.Run("hostile-monitor", func(t *testing.T) {

@@ -33,6 +33,8 @@ func seedCorpus() map[string][]byte {
 		"hostile-monitor": Encode(HostileMonitorScenario()),
 		"drain-race":      Encode(DrainRaceScenario()),
 		"serve-rejected":  Encode(ServeRejectedScenario()),
+		"kv-residency":    Encode(KVResidencyScenario()),
+		"decode-serve":    Encode(DecodeServeScenario()),
 		"chaos-generated": {flagGenerated | flagChaos, 11, 2, 2, 1, 1, 0, 5, 0x3a, 0x91, 0x44, 0x07, 0xc2, 0x15, 0x68, 0xde},
 		"serve-run":       {flagServeLo, 3, 1, 0, 0, 0, 0, 0, 0},
 	}

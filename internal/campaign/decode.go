@@ -14,6 +14,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schedgen"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Header flag bits (byte 0).
@@ -25,6 +26,7 @@ const (
 	flagMonLeg    = 1 << 4 // hostile trampoline-call leg after the episode
 	flagServeLo   = 1 << 5 // serve-leg mode low bit
 	flagServeHi   = 1 << 6 // serve-leg mode high bit
+	flagDecodeLeg = 1 << 7 // explicit requests may be autoregressive decode
 )
 
 // Serve-leg modes.
@@ -49,6 +51,22 @@ const (
 type ChaosSpec struct {
 	PerMillion int
 	Transient  bool
+}
+
+// campaignDecodeSpec is the per-tenant decode geometry the decode leg
+// uses: fully determined by the tenant index plus a 2-bit step
+// selector, so the byte encoding stays compact and same-tenant decode
+// requests are batchable (identical specs) whenever their step
+// selectors agree.
+func campaignDecodeSpec(tenant, stepSel int) workload.DecodeSpec {
+	return workload.DecodeSpec{
+		Layers: 1,
+		Hidden: 64,
+		Heads:  4,
+		FFN:    128,
+		Prompt: 4 + 4*tenant,
+		Steps:  2 + stepSel&3,
+	}
 }
 
 // MonCall is one decoded hostile trampoline call: a function selector
@@ -125,6 +143,16 @@ func Decode(data []byte) Scenario {
 			if rflags&2 != 0 {
 				r.Deadline = r.Arrival + 1 + sim.Cycle(uint64(ddelta)%deadlineDeltaBound)
 			}
+			if flags&flagDecodeLeg != 0 && rflags&4 != 0 {
+				// Autoregressive decode request: always secure (resident
+				// KV is monitor-mediated), no named model (it defaults to
+				// the spec's), no sealed blob needed. Bits 3-4 of rflags
+				// select the step count.
+				spec := campaignDecodeSpec(ti, int(rflags>>3)&3)
+				r.Decode = &spec
+				r.Secure = true
+				r.Model, r.KeyID = "", ""
+			}
 			sc.Requests = append(sc.Requests, r)
 		}
 	}
@@ -159,6 +187,11 @@ func Encode(sc Scenario) []byte {
 		flags |= flagMonLeg
 	}
 	flags |= byte(sc.Serve&3) << 5
+	for _, r := range sc.Requests {
+		if r.Decode != nil {
+			flags |= flagDecodeLeg
+		}
+	}
 
 	b := []byte{flags, byte(sc.Seed - 1), byte(sc.Cores - 1), byte(sc.Tenants - 1), byte(sc.MaxBatch - 1), byte(sc.MaxRestarts)}
 	if sc.MaxQueuePerTenant > 0 {
@@ -188,12 +221,19 @@ func Encode(sc Scenario) []byte {
 		b = append(b, byte(mi), byte(r.Priority))
 		var rflags byte
 		var ddelta uint32
-		if r.Secure {
+		if r.Secure && r.Decode == nil {
 			rflags |= 1
 		}
 		if r.Deadline > 0 {
 			rflags |= 2
 			ddelta = uint32(r.Deadline - r.Arrival - 1)
+		}
+		if r.Decode != nil {
+			// The spec must be a campaignDecodeSpec of this tenant; only
+			// the step selector is encoded (asserted by the round-trip
+			// tests on the committed seeds).
+			rflags |= 4
+			rflags |= byte((r.Decode.Steps-2)&3) << 3
 		}
 		b = append(b, rflags)
 		b = schedgen.AppendUint32(b, ddelta)

@@ -27,6 +27,10 @@ func FuzzCampaign(f *testing.F) {
 	// Minimized from a fuzz-found harness crasher: an admission-
 	// rejected request surfacing through the serve result API.
 	f.Add(Encode(ServeRejectedScenario()))
+	// Decode leg: continuous batching with a resident KV window under
+	// preemption, and decode requests through the serve daemon.
+	f.Add(Encode(KVResidencyScenario()))
+	f.Add(Encode(DecodeServeScenario()))
 	// Generated-mode schedules under chaos: header flags select the
 	// schedgen path (bit 0) and a seeded fault plan (bits 1-2); the
 	// tail bytes are generator entropy.

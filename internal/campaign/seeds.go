@@ -86,6 +86,44 @@ func ServeRejectedScenario() Scenario {
 	}
 }
 
+// KVResidencyScenario is the decode leg's anchor: a same-tenant decode
+// pair that batches continuously on one core (the second request joins
+// mid-stream at a token boundary), a third decode request on another
+// tenant, and a higher-priority plain secure request that preempts the
+// running batch while its KV window is resident. The invariants assert
+// every completed decode request streams exactly Steps+1 strictly
+// ordered tokens and that no KV window survives the episode.
+func KVResidencyScenario() Scenario {
+	specA := campaignDecodeSpec(0, 1) // tenant 0, 3 steps
+	specB := campaignDecodeSpec(1, 2) // tenant 1, 4 steps
+	return Scenario{
+		Seed: 31, Cores: 1, Tenants: 2, MaxBatch: 2,
+		Requests: []sched.Request{
+			{ID: 1, Tenant: "t0", Secure: true, Decode: &specA},
+			{ID: 2, Tenant: "t1", Secure: true, Decode: &specB, Arrival: 15_000},
+			{ID: 3, Tenant: "t0", Secure: true, Decode: &specA, Arrival: 25_000},
+			{ID: 4, Tenant: "t0", Model: "mobilenet", Secure: true, KeyID: "t0-key",
+				Arrival: 40_000, Priority: 2},
+		},
+	}
+}
+
+// DecodeServeScenario replays a decode schedule through the HTTP
+// daemon: decode requests travel as JSON decode params (no model, no
+// sealed blob), and the result API must surface their token counts
+// under the documented status mapping.
+func DecodeServeScenario() Scenario {
+	spec := campaignDecodeSpec(0, 0) // tenant 0, 2 steps
+	return Scenario{
+		Seed: 37, Cores: 2, Tenants: 1, MaxBatch: 2,
+		Serve: ServeRun,
+		Requests: []sched.Request{
+			{ID: 1, Tenant: "t0", Secure: true, Decode: &spec},
+			{ID: 2, Tenant: "t0", Secure: true, Decode: &spec, Arrival: 50_000},
+		},
+	}
+}
+
 // DrainRaceScenario runs the schedule, then replays it through a
 // draining serve daemon: every submit must be refused 503 with a
 // Retry-After hint, never half-admitted.

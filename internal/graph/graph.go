@@ -62,6 +62,7 @@ const (
 	OpDWConv    Op = "DWConv"
 	OpFC        Op = "FC"
 	OpAttention Op = "Attention"
+	OpDecode    Op = "Decode"
 	OpPool      Op = "Pool"
 	OpReduce    Op = "Reduce"
 	OpAdd       Op = "Add"
@@ -74,7 +75,7 @@ const (
 // ops maps every known operator to whether it produces GEMM work.
 var ops = map[Op]bool{
 	OpGemm: true, OpMatMul: true, OpConv: true, OpDWConv: true,
-	OpFC: true, OpAttention: true,
+	OpFC: true, OpAttention: true, OpDecode: true,
 	OpPool: false, OpReduce: false, OpAdd: false, OpMul: false,
 	OpRelu: false, OpSoftmax: false, OpConcat: false,
 }
@@ -101,6 +102,16 @@ type Attrs struct {
 	// autoregressive decode step); zero means self-attention over the
 	// input's own sequence length.
 	Ctx int `json:"ctx,omitempty"`
+	// Steps is Decode's autoregressive step count after prefill.
+	Steps int `json:"steps,omitempty"`
+	// KV, when non-zero, declares Decode's KV-cache capacity in context
+	// tokens; it must cover the prompt plus every step. Zero means
+	// exactly prompt+steps.
+	KV int `json:"kv,omitempty"`
+	// FFN is Decode's feed-forward width (default 4x hidden).
+	FFN int `json:"ffn,omitempty"`
+	// Layers is Decode's transformer depth (default 1).
+	Layers int `json:"layers,omitempty"`
 	// Mode selects the Reduce/Pool flavor ("mean" or "max"); timing
 	// is identical, so it is descriptive only.
 	Mode string `json:"mode,omitempty"`

@@ -28,6 +28,24 @@ func Lower(m *Model) (workload.Workload, error) {
 	var cur *workload.Layer
 	for i := range m.Nodes {
 		n := &m.Nodes[i]
+		if n.OpKind == OpDecode {
+			// A Decode node is multi-layer by construction: the prefill
+			// pass plus every decode step, concatenated exactly as the
+			// workload builder renders them (token boundaries become
+			// layer boundaries). Layer names are prefixed with the node
+			// so two Decode nodes in one graph cannot collide.
+			spec, err := n.decodeSpec(shapes[n.Inputs[0]])
+			if err != nil {
+				return workload.Workload{}, err
+			}
+			for _, l := range spec.Flat().Layers {
+				w.Layers = append(w.Layers, workload.Layer{
+					Name: n.Name + "_" + l.Name, GEMMs: l.GEMMs,
+				})
+			}
+			cur = nil
+			continue
+		}
 		tag := n.layerTag()
 		if cur == nil || cur.Name != tag {
 			w.Layers = append(w.Layers, workload.Layer{Name: tag})

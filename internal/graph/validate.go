@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/workload"
 )
 
 // Shape inference and validation (beyond the paper; see the package
@@ -57,6 +59,7 @@ var attrUse = map[Op]map[string]bool{
 	OpDWConv:    {"kernel": true, "stride": true, "pad": true},
 	OpFC:        {"out": true},
 	OpAttention: {"heads": true, "ctx": true},
+	OpDecode:    {"heads": true, "steps": true, "kv": true, "ffn": true, "layers": true},
 	OpPool:      {"kernel": true, "stride": true, "pad": true, "mode": true},
 	OpReduce:    {"mode": true},
 	OpAdd:       {},
@@ -76,6 +79,10 @@ func (n *Node) checkAttrs() error {
 		"out":     n.Attrs.Out != 0,
 		"heads":   n.Attrs.Heads != 0,
 		"ctx":     n.Attrs.Ctx != 0,
+		"steps":   n.Attrs.Steps != 0,
+		"kv":      n.Attrs.KV != 0,
+		"ffn":     n.Attrs.FFN != 0,
+		"layers":  n.Attrs.Layers != 0,
 		"mode":    n.Attrs.Mode != "",
 	}
 	var bad []string
@@ -92,6 +99,8 @@ func (n *Node) checkAttrs() error {
 		"filters": n.Attrs.Filters, "kernel": n.Attrs.Kernel,
 		"stride": n.Attrs.Stride, "pad": n.Attrs.Pad,
 		"out": n.Attrs.Out, "ctx": n.Attrs.Ctx,
+		"steps": n.Attrs.Steps, "kv": n.Attrs.KV,
+		"ffn": n.Attrs.FFN, "layers": n.Attrs.Layers,
 	} {
 		if v < 0 || v > MaxDim {
 			return fmt.Errorf("graph: node %q: attr %s=%d out of range [0,%d]", n.Name, name, v, MaxDim)
@@ -285,6 +294,29 @@ func (m *Model) Shapes() (map[string]Shape, error) {
 	return shapes, nil
 }
 
+// decodeSpec assembles a Decode node's workload.DecodeSpec from its
+// input shape and attributes (ffn defaults to 4x hidden, layers to 1)
+// and runs the workload-side caps, so validation and lowering agree on
+// exactly one spec.
+func (n *Node) decodeSpec(in Shape) (workload.DecodeSpec, error) {
+	ffn := n.Attrs.FFN
+	if ffn == 0 {
+		ffn = 4 * in[1]
+	}
+	layers := n.Attrs.Layers
+	if layers == 0 {
+		layers = 1
+	}
+	spec := workload.DecodeSpec{
+		Layers: layers, Hidden: in[1], Heads: n.Attrs.Heads,
+		FFN: ffn, Prompt: in[0], Steps: n.Attrs.Steps,
+	}
+	if err := spec.Validate(); err != nil {
+		return workload.DecodeSpec{}, fmt.Errorf("graph: node %q: %w", n.Name, err)
+	}
+	return spec, nil
+}
+
 // layerTag is the scheduling-layer this node's GEMMs join.
 func (n *Node) layerTag() string {
 	if n.Layer != "" {
@@ -410,6 +442,32 @@ func inferNode(n *Node, shapes map[string]Shape) (Shape, error) {
 			return nil, fmt.Errorf("graph: node %q: hidden %d not divisible by %d heads", n.Name, in[1], heads)
 		}
 		return Shape{in[0], in[1]}, nil
+
+	case OpDecode:
+		in, err := oneInput(n, shapes)
+		if err != nil {
+			return nil, err
+		}
+		if len(in) != 2 {
+			return nil, fmt.Errorf("graph: node %q: Decode needs a 2-D [prompt, hidden] input, got %s", n.Name, in)
+		}
+		if n.Layer != "" {
+			// A Decode node expands into many scheduling layers of its
+			// own; folding it into a shared layer tag would break the
+			// token boundaries the scheduler batches at.
+			return nil, fmt.Errorf("graph: node %q: Decode cannot carry a layer tag", n.Name)
+		}
+		spec, err := n.decodeSpec(in)
+		if err != nil {
+			return nil, err
+		}
+		if n.Attrs.KV != 0 && n.Attrs.KV < spec.Prompt+spec.Steps {
+			return nil, fmt.Errorf("graph: node %q: kv capacity %d below prompt+steps = %d",
+				n.Name, n.Attrs.KV, spec.Prompt+spec.Steps)
+		}
+		// The decode emits one token per pass; its output is the last
+		// token's hidden state.
+		return Shape{1, in[1]}, nil
 
 	case OpAdd, OpMul:
 		if len(n.Inputs) < 2 {

@@ -90,6 +90,9 @@ type Monitor struct {
 	nextID int
 	stats  *sim.Stats
 
+	// kv tracks resident KV-cache windows (kv.go), creation order.
+	kv []*KVRegion
+
 	// transitions accumulates the state-transition coverage bitmap
 	// (see the Tr* bit constants); read through TransitionBitmap.
 	transitions uint64
@@ -173,6 +176,7 @@ func (m *Monitor) Reset() {
 	clear(m.keys)
 	m.queue = nil
 	clear(m.tasks)
+	m.kv = nil
 	m.nextID = 1
 	m.transitions = 0
 	m.alloc.Reset()
@@ -350,6 +354,11 @@ func (m *Monitor) Unload(taskID int) error {
 	if !ok {
 		return m.reject(ErrUnknownTask)
 	}
+	// The §IV-B flush contract for resident caches: the owner's unload
+	// scrubs and frees its KV windows, wherever they were claimed.
+	if err := m.releaseKV(taskID); err != nil {
+		return m.reject(err)
+	}
 	if task.Loaded {
 		m.note(TrUnloadLoaded)
 		for _, ci := range task.Cores {
@@ -357,7 +366,8 @@ func (m *Monitor) Unload(taskID int) error {
 			if err != nil {
 				return m.reject(err)
 			}
-			if err := core.Scratchpad().ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], core.Scratchpad().Lines())); err != nil {
+			sp := core.Scratchpad()
+			if err := m.scrubSpadAround(sp, ci, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
 				return m.reject(err)
 			}
 			if err := core.SetDomain(m.ctx, spad.NonSecure); err != nil {
@@ -414,7 +424,9 @@ func (m *Monitor) Preempt(taskID int) error {
 			return m.reject(err)
 		}
 		sp := core.Scratchpad()
-		if err := sp.ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
+		// Context-switch scrub walks around live KV windows: resident
+		// caches (this task's and others') survive the preemption.
+		if err := m.scrubSpadAround(sp, ci, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
 			return m.reject(err)
 		}
 		acc := core.Accumulator()
@@ -461,6 +473,11 @@ func (m *Monitor) Abort(taskID int) error {
 	} else {
 		m.note(TrAbortQueued)
 	}
+	// Fail-closed for resident caches too: scrub + free the task's KV
+	// windows before anything else becomes reachable.
+	if err := m.releaseKV(taskID); err != nil {
+		return m.reject(err)
+	}
 	if task.Loaded {
 		for _, ci := range task.Cores {
 			core, err := m.acc.Core(ci)
@@ -468,7 +485,7 @@ func (m *Monitor) Abort(taskID int) error {
 				return m.reject(err)
 			}
 			sp := core.Scratchpad()
-			if err := sp.ResetSecure(m.ctx, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
+			if err := m.scrubSpadAround(sp, ci, task.SpadLines[0], minInt(task.SpadLines[1], sp.Lines())); err != nil {
 				return m.reject(err)
 			}
 			acc := core.Accumulator()

@@ -40,6 +40,12 @@ const (
 	// FnPreempt evicts a loaded task with the mandatory flush and
 	// ID-bit reassignment, keeping it resident for a later FnLoad.
 	FnPreempt
+	// FnKVAlloc claims a resident KV-cache window for a loaded task
+	// (args: taskID, core, lines, bytes); Reply.Value is the assigned
+	// KV domain. NOTE: outside the generic coverage-bit range
+	// [FnSubmit, FnPreempt] — KV outcomes land on the semantic TrKV*
+	// bits instead (kv.go).
+	FnKVAlloc
 )
 
 func (f FuncID) String() string {
@@ -60,6 +66,8 @@ func (f FuncID) String() string {
 		return "abort"
 	case FnPreempt:
 		return "preempt"
+	case FnKVAlloc:
+		return "kv-alloc"
 	default:
 		return fmt.Sprintf("func(%d)", uint32(f))
 	}
@@ -140,6 +148,12 @@ func (m *Monitor) dispatch(c Call) Reply {
 			return Reply{Err: fmt.Errorf("monitor: preempt needs taskID")}
 		}
 		return Reply{Err: m.Preempt(int(c.Args[0]))}
+	case FnKVAlloc:
+		if len(c.Args) < 4 {
+			return Reply{Err: fmt.Errorf("monitor: kv-alloc needs taskID, core, lines, bytes")}
+		}
+		d, err := m.KVAlloc(int(c.Args[0]), int(c.Args[1]), int(c.Args[2]), c.Args[3])
+		return Reply{Value: uint64(d), Err: err}
 	case FnQueueLen:
 		return Reply{Value: uint64(m.QueueLen())}
 	case FnMapNonSecure:

@@ -15,7 +15,7 @@ import (
 // arm, not in some adjacent handler.
 func TestTrampolineRejectsMalformedFuncIDs(t *testing.T) {
 	w := bootWorld(t)
-	for _, f := range []FuncID{0, FnPreempt + 1, FuncID(0xffff_ffff)} {
+	for _, f := range []FuncID{0, FnKVAlloc + 1, FuncID(0xffff_ffff)} {
 		rep := w.mon.Dispatch(Call{Func: f, Args: []uint64{1, 2, 3, 4, 5}})
 		if !errors.Is(rep.Err, ErrBadFunc) {
 			t.Fatalf("func %d: err = %v, want ErrBadFunc", uint32(f), rep.Err)

@@ -76,6 +76,11 @@ func (c Config) DMAConfig() dma.Config {
 // SpadLines is the wordline count of one tile's scratchpad.
 func (c Config) SpadLines() int { return c.SpadBytes / c.SpadLineBytes }
 
+// KVSpadLines is the wordline count of one tile's KV partition: the
+// top quarter of the scratchpad, reserved by the monitor for resident
+// KV-cache windows that survive context switches (monitor/kv.go).
+func (c Config) KVSpadLines() int { return c.SpadLines() / 4 }
+
 // PeakMACsPerCycle is the full-SoC peak compute rate.
 func (c Config) PeakMACsPerCycle() int64 {
 	return int64(c.Tiles) * int64(c.SystolicDim) * int64(c.SystolicDim)

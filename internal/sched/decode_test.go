@@ -1,0 +1,323 @@
+package sched_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func smallDecodeSpec() workload.DecodeSpec {
+	return workload.DecodeSpec{Layers: 1, Hidden: 64, Heads: 4, FFN: 128, Prompt: 8, Steps: 3}
+}
+
+// Decode requests are secure-only and exclusive with an attached
+// workload; a valid one defaults its model name from the spec.
+func TestDecodeSubmitValidation(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}})
+	spec := smallDecodeSpec()
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Decode: &spec}); !errors.Is(err, sched.ErrBadRequest) {
+		t.Fatalf("non-secure decode: %v", err)
+	}
+	wl := workload.MobileNet()
+	if err := sc.Submit(sched.Request{
+		ID: 2, Tenant: "a", Secure: true, Decode: &spec, Workload: &wl,
+	}); !errors.Is(err, sched.ErrBadRequest) {
+		t.Fatalf("decode+workload: %v", err)
+	}
+	bad := spec
+	bad.Steps = 0
+	if err := sc.Submit(sched.Request{ID: 3, Tenant: "a", Secure: true, Decode: &bad}); !errors.Is(err, sched.ErrBadRequest) {
+		t.Fatalf("invalid spec: %v", err)
+	}
+	if err := sc.Submit(sched.Request{ID: 4, Tenant: "a", Secure: true, Decode: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ResultByID(4)
+	if r == nil || !r.Completed {
+		t.Fatalf("decode request did not complete: %+v\n%s", r, rep.DecisionLog())
+	}
+	if r.Model != spec.ModelName() {
+		t.Fatalf("model defaulted to %q, want %q", r.Model, spec.ModelName())
+	}
+}
+
+// One decode request emits prompt's prefill token plus one per step,
+// timestamps strictly increasing, and the job claims and scrubs a
+// resident KV window.
+func TestDecodeSingleRequestTokens(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}})
+	spec := smallDecodeSpec()
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Secure: true, Decode: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.ResultByID(1)
+	if !r.Completed {
+		t.Fatalf("not completed: %+v\n%s", r, rep.DecisionLog())
+	}
+	wantTokens := spec.Steps + 1
+	if r.Tokens != wantTokens || rep.Tokens != wantTokens {
+		t.Fatalf("tokens = %d (report %d), want %d", r.Tokens, rep.Tokens, wantTokens)
+	}
+	times := rep.TokenTimes[1]
+	if len(times) != wantTokens {
+		t.Fatalf("token times = %v", times)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("token %d at %d not after token %d at %d", i, times[i], i-1, times[i-1])
+		}
+	}
+	log := rep.DecisionLog()
+	for _, want := range []string{"kv_alloc", "token", "leave", "kv_scrub", "complete"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("decision log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// A same-spec batch decodes round-robin: between one member's
+// consecutive tokens every other live member also emits one, which is
+// the continuous-batching interleave at token boundaries.
+func TestDecodeBatchInterleavesTokens(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 4})
+	spec := smallDecodeSpec()
+	for id := 1; id <= 3; id++ {
+		if err := sc.Submit(sched.Request{ID: id, Tenant: "a", Secure: true, Decode: &spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	if rep.BatchedRuns != 2 {
+		t.Fatalf("batched runs = %d, want 2\n%s", rep.BatchedRuns, rep.DecisionLog())
+	}
+	if rep.Tokens != 3*(spec.Steps+1) {
+		t.Fatalf("total tokens = %d", rep.Tokens)
+	}
+	// Token emission order must be a strict round-robin over the three
+	// members: 1,2,3,1,2,3,...
+	var order []int
+	for _, d := range rep.Decisions {
+		if d.Event == "token" {
+			order = append(order, d.Req)
+		}
+	}
+	for i, id := range order {
+		if want := i%3 + 1; id != want {
+			t.Fatalf("token %d emitted by req %d, want %d (order %v)", i, id, want, order)
+		}
+	}
+	// Exactly one FnSubmit-backed admission and one shared KV window.
+	log := rep.DecisionLog()
+	if n := strings.Count(log, "kv_alloc"); n != 1 {
+		t.Fatalf("kv_alloc count = %d, want 1:\n%s", n, log)
+	}
+	if n := strings.Count(log, "kv_scrub"); n != 1 {
+		t.Fatalf("kv_scrub count = %d, want 1:\n%s", n, log)
+	}
+}
+
+// A request arriving while a same-spec batch is mid-decode joins at a
+// token boundary ("join" event), decodes to completion, and leaving
+// members free their seats for later joiners.
+func TestDecodeContinuousJoin(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 2})
+	spec := smallDecodeSpec()
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Secure: true, Decode: &spec, Arrival: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Arrives mid-run: must join the open batch rather than FnSubmit.
+	if err := sc.Submit(sched.Request{ID: 2, Tenant: "a", Secure: true, Decode: &spec, Arrival: 200_000}); err != nil {
+		t.Fatal(err)
+	}
+	// Third request: seat-bound by MaxBatch=2 until req 1 leaves.
+	if err := sc.Submit(sched.Request{ID: 3, Tenant: "a", Secure: true, Decode: &spec, Arrival: 250_000}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	joins := 0
+	for _, d := range rep.Decisions {
+		if d.Event == "join" {
+			joins++
+			// A join must land at or after the joiner's arrival and, for
+			// req 2, while the lead was already dispatched.
+			if d.Req == 2 && d.Cycle < 200_000 {
+				t.Fatalf("join before arrival: %v", d)
+			}
+		}
+	}
+	if joins == 0 {
+		t.Fatalf("no join events:\n%s", rep.DecisionLog())
+	}
+	for id := 1; id <= 3; id++ {
+		if got := rep.ResultByID(id).Tokens; got != spec.Steps+1 {
+			t.Fatalf("req %d tokens = %d", id, got)
+		}
+	}
+}
+
+// Two different decode specs never share a batch even under one tenant:
+// the spec equality guard (and the SourceDigest guard behind it) keeps
+// KV geometry uniform within a job.
+func TestDecodeSpecsDoNotCrossBatch(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 4})
+	a := smallDecodeSpec()
+	b := smallDecodeSpec()
+	b.Steps = 5
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "t", Secure: true, Decode: &a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{ID: 2, Tenant: "t", Secure: true, Decode: &b}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	if rep.BatchedRuns != 0 {
+		t.Fatalf("cross-spec batch happened:\n%s", rep.DecisionLog())
+	}
+	if rep.ResultByID(1).Tokens != a.Steps+1 || rep.ResultByID(2).Tokens != b.Steps+1 {
+		t.Fatalf("token counts wrong: %d %d", rep.ResultByID(1).Tokens, rep.ResultByID(2).Tokens)
+	}
+}
+
+// A decode member with a deadline that expires mid-decode leaves the
+// batch at the tile boundary; its batch-mates keep decoding on the
+// still-resident KV window.
+func TestDecodeDeadlineLeavesBatch(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 4})
+	spec := smallDecodeSpec()
+	if err := sc.Submit(sched.Request{ID: 1, Tenant: "a", Secure: true, Decode: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	// Feasible floor, hopeless against the interleave: dropped mid-run.
+	if err := sc.Submit(sched.Request{
+		ID: 2, Tenant: "a", Secure: true, Decode: &spec, Deadline: 70_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := rep.ResultByID(1), rep.ResultByID(2)
+	if !r1.Completed {
+		t.Fatalf("survivor did not complete: %+v\n%s", r1, rep.DecisionLog())
+	}
+	if r2.Completed {
+		t.Skipf("deadline %d was feasible at this config", 70_000)
+	}
+	if !r2.Dropped && !r2.Rejected {
+		t.Fatalf("req 2 = %+v, want dropped or rejected\n%s", r2, rep.DecisionLog())
+	}
+	if r1.Tokens != spec.Steps+1 {
+		t.Fatalf("survivor tokens = %d", r1.Tokens)
+	}
+}
+
+// Priority preemption still works against a decode batch: the KV window
+// survives the preemption (no second kv_alloc on resume) and every
+// member still emits its full token budget.
+func TestDecodePreemptionKeepsKVResident(t *testing.T) {
+	sys, sc := bootSched(t, sched.Config{Cores: []int{0}, MaxBatch: 2})
+	sealed := sealFor(t, sys, "k", 9)
+	spec := workload.DecodeSpec{Layers: 2, Hidden: 128, Heads: 4, FFN: 512, Prompt: 32, Steps: 4}
+	if err := sc.Submit(sched.Request{
+		ID: 1, Tenant: "lo", Secure: true, Decode: &spec, Priority: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Submit(sched.Request{
+		ID: 2, Tenant: "hi", Model: "mobilenet", Secure: true, Priority: 10,
+		Arrival: 100_000, KeyID: "k", Sealed: sealed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 2 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	victim := rep.ResultByID(1)
+	if victim.Preemptions == 0 {
+		t.Skip("decode batch finished before the preemptor arrived at this config")
+	}
+	if victim.Tokens != spec.Steps+1 {
+		t.Fatalf("victim tokens = %d after preemption", victim.Tokens)
+	}
+	log := rep.DecisionLog()
+	if n := strings.Count(log, "kv_alloc"); n != 1 {
+		t.Fatalf("kv_alloc count = %d (KV window not resident across preemption):\n%s", n, log)
+	}
+}
+
+// Report token-time bookkeeping: inter-token gaps are positive and the
+// makespan covers the last token.
+func TestDecodeTokenTimesConsistent(t *testing.T) {
+	_, sc := bootSched(t, sched.Config{Cores: []int{0, 1}, MaxBatch: 4})
+	spec := smallDecodeSpec()
+	for id := 1; id <= 4; id++ {
+		if err := sc.Submit(sched.Request{
+			ID: id, Tenant: "a", Secure: true, Decode: &spec, Arrival: sim.Cycle(id * 100),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 {
+		t.Fatalf("completed = %d\n%s", rep.Completed, rep.DecisionLog())
+	}
+	var last sim.Cycle
+	for id, times := range rep.TokenTimes {
+		r := rep.ResultByID(id)
+		if len(times) != r.Tokens {
+			t.Fatalf("req %d: %d token times, result says %d", id, len(times), r.Tokens)
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] <= times[i-1] {
+				t.Fatalf("req %d token times not increasing: %v", id, times)
+			}
+		}
+		if times[len(times)-1] > last {
+			last = times[len(times)-1]
+		}
+		if times[len(times)-1] != r.Finish {
+			t.Fatalf("req %d last token at %d but finish %d", id, times[len(times)-1], r.Finish)
+		}
+	}
+	if last > rep.Makespan {
+		t.Fatalf("last token %d after makespan %d", last, rep.Makespan)
+	}
+}

@@ -2,12 +2,15 @@ package sched_test
 
 import (
 	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	snpu "repro"
 	"repro/internal/sched"
 	"repro/internal/schedgen"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Differential determinism: the scheduler's compile pool width and the
@@ -107,6 +110,120 @@ func TestDifferentialDeterminism(t *testing.T) {
 			// Leg 2: a second fresh System replays identically.
 			again := runTrace(t, seed, 1, sealed)
 			diffReports(t, "fresh system", ref, again)
+		})
+	}
+}
+
+// decodeTrace derives a deterministic decode episode from a seed: two
+// tenants with distinct specs, staggered arrivals, mixed priorities,
+// and one plain secure request so decode batches get preempted.
+func decodeTrace(seed int64) []sched.Request {
+	rng := rand.New(rand.NewSource(seed))
+	specs := []workload.DecodeSpec{
+		{Layers: 1, Hidden: 64, Heads: 4, FFN: 128, Prompt: 8, Steps: 3},
+		{Layers: 1, Hidden: 64, Heads: 4, FFN: 128, Prompt: 16, Steps: 5},
+	}
+	var reqs []sched.Request
+	for id := 1; id <= 8; id++ {
+		ti := rng.Intn(len(specs))
+		spec := specs[ti]
+		reqs = append(reqs, sched.Request{
+			ID: id, Tenant: fmt.Sprintf("t%d", ti), Secure: true, Decode: &spec,
+			Arrival:  sim.Cycle(rng.Intn(400_000)),
+			Priority: sched.Priority(rng.Intn(2) * 3),
+		})
+	}
+	reqs = append(reqs, sched.Request{
+		ID: 9, Tenant: "t0", Model: "mobilenet", Secure: true, Priority: 7,
+		KeyID: schedgen.TenantKeyID(0), Arrival: sim.Cycle(100_000 + rng.Intn(100_000)),
+	})
+	return reqs
+}
+
+// runDecodeTrace replays one decode episode. When sys is nil a fresh
+// System boots; passing a recycled (Reset) System pins the pooled-reuse
+// path to the same observable outputs.
+func runDecodeTrace(t *testing.T, seed int64, workers int, sys *snpu.System, sealed map[string][]byte) *sched.Report {
+	t.Helper()
+	if sys == nil {
+		var err error
+		sys, err = snpu.New(snpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := schedgen.ProvisionKeys(sys, seed, 2); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.NewScheduler(sched.Config{
+		Cores: []int{0, 1}, Workers: workers, MaxBatch: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range decodeTrace(seed) {
+		if r.Secure && r.Decode == nil {
+			r.Sealed = sealed[r.KeyID]
+		}
+		if err := sc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// diffDecodeReports extends diffReports with the per-token contract:
+// identical token counts and byte-identical per-token retire cycles.
+func diffDecodeReports(t *testing.T, label string, a, b *sched.Report) {
+	t.Helper()
+	diffReports(t, label, a, b)
+	if a.Tokens != b.Tokens {
+		t.Fatalf("%s: total tokens diverge: %d vs %d", label, a.Tokens, b.Tokens)
+	}
+	if !reflect.DeepEqual(a.TokenTimes, b.TokenTimes) {
+		t.Fatalf("%s: per-token times diverge:\n a=%v\n b=%v", label, a.TokenTimes, b.TokenTimes)
+	}
+}
+
+// Decode determinism: the same decode trace at compile-pool widths 1
+// vs 4 and on a fresh vs a recycled (pool-path, Reset) System must
+// produce byte-identical decision logs and identical per-token retire
+// cycles. CI runs this under -race, so the wide leg also proves the
+// decode compile fan-out is race free.
+func TestDecodeDifferentialDeterminism(t *testing.T) {
+	seeds := []int64{3, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sealed := sealedSet(t, seed)
+			ref := runDecodeTrace(t, seed, 1, nil, sealed)
+			if ref.Tokens == 0 || ref.Completed == 0 {
+				t.Fatalf("reference decode episode did nothing: %+v", ref)
+			}
+			wide := runDecodeTrace(t, seed, 4, nil, sealed)
+			diffDecodeReports(t, "workers 1 vs 4", ref, wide)
+
+			// Pooled leg: run a throwaway episode on a System, hand it
+			// back through Reset (exactly what the pool does), and replay
+			// the trace on the recycled instance.
+			pooled, err := snpu.New(snpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = runDecodeTrace(t, seed+1000, 1, pooled, sealedSet(t, seed+1000))
+			if err := pooled.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			recycled := runDecodeTrace(t, seed, 1, pooled, sealed)
+			diffDecodeReports(t, "fresh vs recycled system", ref, recycled)
 		})
 	}
 }

@@ -17,12 +17,14 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	snpu "repro"
 	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/schedgen"
+	"repro/internal/workload"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -103,6 +105,92 @@ func TestGoldenDecisionLog(t *testing.T) {
 	}
 	if got := narrow.DecisionLog(); got != string(want) {
 		t.Fatalf("decision log diverged from the committed golden "+
+			"(intentional? rerun with -update-golden and review)\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}
+
+// runGoldenDecodeSchedule is the decode counterpart: continuous
+// batching (a mid-run join), a cross-tenant second batch, a priority
+// preemptor over a resident KV window, and an early hang that forces a
+// decode retry with a fresh KV claim. Pinned the same way:
+//
+//	go test ./internal/sched -run TestGoldenDecodeDecisionLog -update-golden
+func runGoldenDecodeSchedule(t *testing.T, workers int, sealed map[string][]byte) *sched.Report {
+	t.Helper()
+	sys, err := snpu.New(snpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.InstallFaultPlan(fault.Plan{Events: []fault.Event{
+		{At: 2000, Kind: fault.CoreHang, Sel: 0},
+	}})
+	if err := schedgen.ProvisionKeys(sys, goldenSeed, 2); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.NewScheduler(sched.Config{
+		Cores:       []int{0, 1},
+		Workers:     workers,
+		MaxBatch:    2,
+		MaxRestarts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := workload.DecodeSpec{Layers: 1, Hidden: 64, Heads: 4, FFN: 128, Prompt: 8, Steps: 3}
+	specB := workload.DecodeSpec{Layers: 1, Hidden: 64, Heads: 4, FFN: 128, Prompt: 12, Steps: 4}
+	reqs := []sched.Request{
+		{ID: 1, Tenant: "t0", Secure: true, Decode: &specA},
+		{ID: 2, Tenant: "t1", Secure: true, Decode: &specB, Arrival: 30_000},
+		// Joins req 1's batch at a token boundary mid-run.
+		{ID: 3, Tenant: "t0", Secure: true, Decode: &specA, Arrival: 60_000},
+		// Preempts a decode batch; its KV window must stay resident.
+		{ID: 4, Tenant: "t0", Model: "mobilenet", Secure: true, Priority: 5,
+			KeyID: schedgen.TenantKeyID(0), Sealed: sealed[schedgen.TenantKeyID(0)], Arrival: 90_000},
+		{ID: 5, Tenant: "t1", Secure: true, Decode: &specB, Arrival: 200_000},
+	}
+	for _, r := range reqs {
+		if err := sc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGoldenDecodeDecisionLog(t *testing.T) {
+	sealed, err := schedgen.SealedSet(goldenSeed, 2, []byte("golden model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := runGoldenDecodeSchedule(t, 1, sealed)
+	wide := runGoldenDecodeSchedule(t, 4, sealed)
+	if narrow.DecisionLog() != wide.DecisionLog() {
+		t.Fatalf("decode decision log differs between workers 1 and 4\n--- j1 ---\n%s\n--- j4 ---\n%s",
+			narrow.DecisionLog(), wide.DecisionLog())
+	}
+	// The golden must actually cover the decode vocabulary.
+	for _, want := range []string{"kv_alloc", "join", "token", "leave", "kv_scrub"} {
+		if !strings.Contains(narrow.DecisionLog(), want) {
+			t.Fatalf("golden decode schedule never emitted %q:\n%s", want, narrow.DecisionLog())
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_decode_decisions.log")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(narrow.DecisionLog()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := narrow.DecisionLog(); got != string(want) {
+		t.Fatalf("decode decision log diverged from the committed golden "+
 			"(intentional? rerun with -update-golden and review)\n--- got ---\n%s\n--- want ---\n%s",
 			got, want)
 	}

@@ -99,6 +99,13 @@ type Request struct {
 	// provisioned sealing-key name and the sealed model blob.
 	KeyID  string
 	Sealed []byte
+	// Decode, when non-nil, makes this an autoregressive decode request:
+	// a prefill pass plus Decode.Steps single-token passes, each pass
+	// boundary a token boundary the continuous batcher interleaves and
+	// joins/leaves at. Decode requests must be Secure (the resident KV
+	// cache is monitor-mediated) and are mutually exclusive with
+	// Workload; Model defaults to the spec's deterministic name.
+	Decode *workload.DecodeSpec
 }
 
 // Result reports one request's outcome.
@@ -134,6 +141,10 @@ type Result struct {
 	// for both classes.
 	Retryable bool   `json:"retryable,omitempty"`
 	Err       string `json:"err,omitempty"`
+	// Tokens counts the tokens a decode request emitted (prefill emits
+	// the first); zero for conventional requests. A partially decoded
+	// request (deadline cut mid-stream) reports the tokens it streamed.
+	Tokens int `json:"tokens,omitempty"`
 }
 
 // Latency is Finish - Arrival for completed requests.
@@ -195,6 +206,14 @@ type reqState struct {
 	// feasibility rejection is sound.
 	minExec sim.Cycle
 
+	// progs / tok / tokenEnds drive a decode request: progs[0] is the
+	// prefill, progs[1+t] decode step t (prog aliases progs[0] so the
+	// FnSubmit/measurement path is shared); tok is the pass cursor (==
+	// tokens emitted so far) and tokenEnds the per-token retire cycles.
+	progs     []*npu.Program
+	tok       int
+	tokenEnds []sim.Cycle
+
 	ex      *npu.Exec
 	started bool
 	start   sim.Cycle
@@ -241,14 +260,88 @@ type job struct {
 	slot   int
 	mapped bool
 	coreID int // affine core once started (-1 before)
+
+	// decode marks a continuous decode batch: members interleave
+	// round-robin (rr) one token-pass at a time instead of running
+	// serially through idx, and requests join/leave at token boundaries.
+	decode bool
+	rr     int
+	// kvLines is the resident KV window claimed for this job's monitor
+	// task (0 until the first load's FnKVAlloc).
+	kvLines int
 }
 
 func (j *job) lead() *reqState { return j.members[0] }
 
-// cur returns the member at the execution cursor.
-func (j *job) cur() *reqState { return j.members[j.idx] }
+// cur returns the member at the execution cursor: the serial cursor
+// for conventional jobs, the round-robin cursor for decode batches.
+func (j *job) cur() *reqState {
+	if j.decode {
+		return j.members[j.rr]
+	}
+	return j.members[j.idx]
+}
 
-func (j *job) done() bool { return j.idx >= len(j.members) }
+func (j *job) done() bool {
+	if j.decode {
+		for _, m := range j.members {
+			if !m.terminal {
+				return false
+			}
+		}
+		return true
+	}
+	return j.idx >= len(j.members)
+}
+
+// remaining counts members still owed work.
+func (j *job) remaining() int {
+	if j.decode {
+		n := 0
+		for _, m := range j.members {
+			if !m.terminal {
+				n++
+			}
+		}
+		return n
+	}
+	return len(j.members) - j.idx
+}
+
+// rotate advances the decode round-robin cursor to the next live
+// member (continuous batching: one token per member per turn).
+func (j *job) rotate() {
+	if !j.decode || j.done() {
+		return
+	}
+	for i := 0; i < len(j.members); i++ {
+		j.rr = (j.rr + 1) % len(j.members)
+		if !j.members[j.rr].terminal {
+			return
+		}
+	}
+}
+
+// fixCursor re-points the decode cursor at a live member after drops.
+func (j *job) fixCursor() {
+	if j.decode && !j.done() && j.members[j.rr].terminal {
+		j.rotate()
+	}
+}
+
+// curProg is the program of the member's current pass: progs[tok] for
+// decode requests (clamped to the last pass), the single program
+// otherwise.
+func (m *reqState) curProg() *npu.Program {
+	if len(m.progs) > 0 {
+		i := m.tok
+		if i >= len(m.progs) {
+			i = len(m.progs) - 1
+		}
+		return m.progs[i]
+	}
+	return m.prog
+}
 
 // coreState is one owned core's scheduling state.
 type coreState struct {
@@ -377,6 +470,22 @@ func (s *Scheduler) Submit(r Request) error {
 	if !s.cfg.Breaker.Allow(r.Tenant) {
 		return fmt.Errorf("%w: %s", ErrTenantQuarantined, r.Tenant)
 	}
+	if r.Decode != nil {
+		if !r.Secure {
+			return fmt.Errorf("%w: decode requests must be secure (resident KV is monitor-mediated)", ErrBadRequest)
+		}
+		if r.Workload != nil {
+			return fmt.Errorf("%w: decode and workload are mutually exclusive", ErrBadRequest)
+		}
+		if err := r.Decode.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		spec := *r.Decode
+		r.Decode = &spec
+		if r.Model == "" {
+			r.Model = spec.ModelName()
+		}
+	}
 	if r.Workload != nil {
 		if err := r.Workload.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -386,8 +495,10 @@ func (s *Scheduler) Submit(r Request) error {
 		}
 		clone := r.Workload.Clone()
 		r.Workload = &clone
-	} else if _, err := workload.Lookup(r.Model); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	} else if r.Decode == nil {
+		if _, err := workload.Lookup(r.Model); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
 	}
 	if r.Secure {
 		if s.deps.Monitor == nil {
@@ -466,6 +577,12 @@ type Report struct {
 	// Retries is total fault-retry resubmissions; Recovered counts
 	// requests that completed after at least one retry.
 	Retries, Recovered int
+	// Tokens is the total autoregressive tokens emitted by decode
+	// requests; TokenTimes maps a decode request's ID to the cycle each
+	// of its tokens retired at (in emission order), for inter-token
+	// latency analysis.
+	Tokens     int
+	TokenTimes map[int][]sim.Cycle
 }
 
 // DecisionLog renders the decision stream, one line per decision.
@@ -583,11 +700,11 @@ func (s *Scheduler) nextPending() (sim.Cycle, bool) {
 func (s *Scheduler) outstanding() int {
 	n := len(s.waitlist) + len(s.retryQ)
 	for _, j := range s.ready {
-		n += len(j.members) - j.idx
+		n += j.remaining()
 	}
 	for _, cs := range s.cores {
 		for _, j := range cs.resume {
-			n += len(j.members) - j.idx
+			n += j.remaining()
 		}
 	}
 	return n
@@ -620,6 +737,27 @@ func (s *Scheduler) prepare() {
 	}
 	compile := func(rs *reqState) {
 		if rs.terminal { // shed at submit time: nothing to compile
+			return
+		}
+		if rs.req.Decode != nil {
+			// One program per pass: the prefill plus every decode step.
+			// CompileCached makes the repeated step shapes cheap across
+			// same-spec requests.
+			passes := rs.req.Decode.Passes()
+			rs.progs = make([]*npu.Program, len(passes))
+			var total sim.Cycle
+			for i, p := range passes {
+				prog, _, err := npu.CompileCached(p, s.deps.Cfg, 0, npu.DefaultLayout)
+				if err != nil {
+					rs.errMsg = err.Error()
+					rs.progs = nil
+					return
+				}
+				rs.progs[i] = prog
+				total += sim.Cycle(prog.IdealComputeCycles)
+			}
+			rs.prog = rs.progs[0]
+			rs.minExec = total
 			return
 		}
 		wl, err := rs.workload()
@@ -714,7 +852,14 @@ func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
 				j.prio = rs.req.Priority
 			}
 			inc(s.obsBatch)
-			s.decide(at, -1, "batch", rs, fmt.Sprintf("joined req %d (%d/%d)", j.leadID, len(j.members), s.cfg.MaxBatch))
+			if j.decode {
+				// Continuous batching: the member joins a possibly
+				// running batch; the round-robin cursor reaches it at
+				// the next token boundary.
+				s.decide(at, -1, "join", rs, fmt.Sprintf("joined req %d (%d live)", j.leadID, j.remaining()))
+			} else {
+				s.decide(at, -1, "batch", rs, fmt.Sprintf("joined req %d (%d/%d)", j.leadID, len(j.members), s.cfg.MaxBatch))
+			}
 			return
 		}
 		rep := s.deps.Monitor.Dispatch(monitor.Call{
@@ -737,6 +882,7 @@ func (s *Scheduler) admit(rs *reqState, at sim.Cycle) {
 			members: []*reqState{rs}, secure: true, monID: int(rep.Value),
 			prio: rs.req.Priority, arrival: rs.req.Arrival, leadID: rs.req.ID,
 			loadCost: s.submitCost(rs), coreID: -1,
+			decode: rs.req.Decode != nil,
 		}
 		s.ready = append(s.ready, j)
 		s.openJobs = append(s.openJobs, j)
@@ -775,10 +921,23 @@ func (s *Scheduler) joinableBatch(rs *reqState) *job {
 		return nil
 	}
 	for _, j := range s.openJobs {
-		if len(j.members) >= s.cfg.MaxBatch {
+		// A continuous decode batch frees a seat whenever a member
+		// leaves, so the bound is on live members; a conventional batch
+		// never shrinks.
+		if j.decode {
+			if j.remaining() >= s.cfg.MaxBatch {
+				continue
+			}
+		} else if len(j.members) >= s.cfg.MaxBatch {
+			continue
+		}
+		if j.decode != (rs.req.Decode != nil) {
 			continue
 		}
 		lead := j.lead()
+		if j.decode && *lead.req.Decode != *rs.req.Decode {
+			continue
+		}
 		if lead.req.Tenant == rs.req.Tenant && lead.req.Model == rs.req.Model &&
 			lead.req.KeyID == rs.req.KeyID &&
 			lead.prog.SourceDigest == rs.prog.SourceDigest {
@@ -897,14 +1056,23 @@ func (s *Scheduler) dispatchOn(c *coreState, clock sim.Cycle) {
 			return
 		}
 		// Drop members that can no longer meet their finish deadline.
-		for !j.done() {
-			m := j.cur()
-			if s.deadlineExpired(m, start) {
-				s.drop(m, start, c.id)
-				j.idx++
-				continue
+		if j.decode {
+			for _, m := range j.members {
+				if !m.terminal && s.deadlineExpired(m, start) {
+					s.drop(m, start, c.id)
+				}
 			}
-			break
+			j.fixCursor()
+		} else {
+			for !j.done() {
+				m := j.cur()
+				if s.deadlineExpired(m, start) {
+					s.drop(m, start, c.id)
+					j.idx++
+					continue
+				}
+				break
+			}
 		}
 		if j.done() {
 			s.finishJob(c, j, start, fromResume)
@@ -924,7 +1092,7 @@ func (s *Scheduler) deadlineExpired(m *reqState, at sim.Cycle) bool {
 	if m.req.Deadline == 0 {
 		return false
 	}
-	if m.ex == nil && m.attempts == 0 {
+	if m.ex == nil && m.attempts == 0 && !m.started {
 		return at+m.minExec > m.req.Deadline
 	}
 	return at > m.req.Deadline
@@ -986,10 +1154,39 @@ func (s *Scheduler) startJob(c *coreState, j *job, start sim.Cycle, resumed bool
 		if resumed {
 			// Restore the checkpointed accumulator context that the
 			// mandatory preemption flush saved.
-			cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+			cost := spad.FlushCost(npu.FlushLiveBytes(m.curProg()), s.deps.Cfg.DRAMBytesPerCycle,
 				s.deps.Cfg.DRAMLatency, s.deps.Stats)
 			start += cost
 			s.flushCycles += cost
+		}
+		if j.decode && j.kvLines == 0 {
+			// First placement of a decode batch: claim a resident KV
+			// window from the monitor's scratchpad partition. The claim
+			// streams the (zeroed) backing store through once — the cost
+			// model is the same DMA walk a flush pays.
+			spec := j.lead().req.Decode
+			lineBytes := s.deps.Cfg.SpadLineBytes
+			lines := int((spec.KVBytes() + int64(lineBytes) - 1) / int64(lineBytes))
+			if maxL := s.deps.Cfg.KVSpadLines() / 4; lines > maxL {
+				lines = maxL
+			}
+			if lines < 1 {
+				lines = 1
+			}
+			rep := s.deps.Monitor.Dispatch(monitor.Call{
+				Func: monitor.FnKVAlloc,
+				Args: []uint64{uint64(j.monID), uint64(c.id), uint64(lines), uint64(spec.KVBytes())},
+			})
+			if rep.Err != nil {
+				s.abortJob(c, j, start, rep.Err)
+				return
+			}
+			j.kvLines = lines
+			cost := spad.FlushCost(uint64(lines*lineBytes), s.deps.Cfg.DRAMBytesPerCycle,
+				s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			start += cost
+			s.flushCycles += cost
+			s.decide(start, c.id, "kv_alloc", m, fmt.Sprintf("lines=%d domain=%d", lines, rep.Value))
 		}
 	} else if s.deps.Monitor != nil && !j.mapped {
 		if j.slot == 0 {
@@ -1029,6 +1226,10 @@ func (s *Scheduler) startJob(c *coreState, j *job, start sim.Cycle, resumed bool
 // completion, faults, and boundary preemption.
 func (s *Scheduler) advance(c *coreState) {
 	j := c.cur
+	if j.decode {
+		s.advanceDecode(c, j)
+		return
+	}
 	m := j.cur()
 	if m.ex == nil {
 		m.ex = npu.NewExec(c.core, m.prog, m.req.ID+10000)
@@ -1102,6 +1303,109 @@ func (s *Scheduler) advance(c *coreState) {
 	}
 }
 
+// advanceDecode runs one tile slice of the continuous decode batch on
+// core c. Each member's current pass (prefill, then one per decode
+// step) runs tile-by-tile exactly as a plain workload does; completing
+// a pass emits one token and is the *token boundary* at which the
+// round-robin cursor rotates to the next live member, joiners admitted
+// mid-run become eligible, and finished members leave the batch. The
+// member's resident KV window (claimed in startJob) is untouched by
+// all of this — only job teardown scrubs it.
+func (s *Scheduler) advanceDecode(c *coreState, j *job) {
+	m := j.cur()
+	if m.ex == nil {
+		m.ex = npu.NewExec(c.core, m.curProg(), m.req.ID+10000)
+		if !m.started {
+			m.started = true
+			m.start = c.freeAt
+		}
+		m.core = c.id
+		if m.checkpoint > 0 {
+			// Retried member: restart the interrupted pass from its last
+			// layer boundary; the flush models re-deriving the KV state
+			// the abort scrubbed.
+			m.ex.SkipToLayer(m.checkpoint)
+			cost := spad.FlushCost(npu.FlushLiveBytes(m.curProg()), s.deps.Cfg.DRAMBytesPerCycle,
+				s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			c.freeAt += cost
+			s.flushCycles += cost
+		}
+	}
+	end, err := m.ex.RunUntil(c.freeAt, npu.BoundaryTile)
+	if err != nil {
+		var hang *npu.HangError
+		if errors.As(err, &hang) {
+			c.freeAt = hang.Detected
+		}
+		s.faultJob(c, j, c.freeAt, err)
+		return
+	}
+	c.freeAt = end
+	if cl := m.ex.CurrentLayer(); cl > m.checkpoint {
+		m.checkpoint = cl
+	}
+	s.admitUpTo(end)
+
+	if m.req.Deadline > 0 && end > m.req.Deadline {
+		s.missDeadlineDecode(c, j, end)
+		return
+	}
+
+	if m.ex.Done() {
+		// Pass complete: one token out.
+		m.ex = nil
+		m.checkpoint = 0
+		m.tok++
+		m.tokenEnds = append(m.tokenEnds, end)
+		s.decide(end, c.id, "token", m, fmt.Sprintf("tok=%d/%d", m.tok, len(m.progs)))
+		if m.tok >= len(m.progs) {
+			// Last step's token was the member's final output: it leaves
+			// the batch, freeing its seat for a joiner.
+			m.finish = end
+			m.terminal, m.completed = true, true
+			inc(s.obsComplete)
+			if s.obsLatency != nil {
+				s.obsLatency.Observe(int64(end - m.req.Arrival))
+			}
+			s.decide(end, c.id, "leave", m, fmt.Sprintf("tokens=%d", m.tok))
+			s.decide(end, c.id, "complete", m, fmt.Sprintf("latency=%d", end-m.req.Arrival))
+		}
+		j.rotate()
+		if j.done() {
+			s.finishJob(c, j, end, false)
+		}
+		return
+	}
+
+	if s.preemptorWaiting(c, j.prio) {
+		s.preempt(c, end)
+	}
+}
+
+// missDeadlineDecode cuts one decode member at the tile boundary that
+// crossed its deadline. The member leaves the batch; its batch-mates
+// keep decoding and the shared KV window stays resident for them.
+func (s *Scheduler) missDeadlineDecode(c *coreState, j *job, at sim.Cycle) {
+	m := j.cur()
+	if j.secure {
+		cost := spad.FlushCost(npu.FlushLiveBytes(m.curProg()), s.deps.Cfg.DRAMBytesPerCycle,
+			s.deps.Cfg.DRAMLatency, s.deps.Stats)
+		c.freeAt = at + cost
+		s.flushCycles += cost
+	}
+	m.terminal, m.dropped = true, true
+	m.finish = at
+	m.ex = nil
+	m.errMsg = "sched: deadline missed"
+	inc(s.obsDeadlineMiss)
+	s.decide(at, c.id, "deadline_miss", m, fmt.Sprintf("deadline=%d", m.req.Deadline))
+	s.decide(at, c.id, "leave", m, fmt.Sprintf("tokens=%d", m.tok))
+	j.rotate()
+	if j.done() {
+		s.finishJob(c, j, c.freeAt, false)
+	}
+}
+
 // preemptorWaiting reports a strictly higher-priority job core c could
 // host right now.
 func (s *Scheduler) preemptorWaiting(c *coreState, prio Priority) bool {
@@ -1137,7 +1441,7 @@ func (s *Scheduler) preempt(c *coreState, at sim.Cycle) {
 			s.abortJob(c, j, at, rep.Err)
 			return
 		}
-		cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+		cost := spad.FlushCost(npu.FlushLiveBytes(m.curProg()), s.deps.Cfg.DRAMBytesPerCycle,
 			s.deps.Cfg.DRAMLatency, s.deps.Stats)
 		c.freeAt = at + cost
 		s.flushCycles += cost
@@ -1152,6 +1456,17 @@ func (s *Scheduler) preempt(c *coreState, at sim.Cycle) {
 func (s *Scheduler) finishJob(c *coreState, j *job, at sim.Cycle, wasResumed bool) {
 	if j.secure {
 		s.closeBatch(j)
+		if j.decode && j.kvLines > 0 {
+			// §IV-B flush contract: the batch's resident KV window is
+			// scrubbed with the task. FnUnload below does the actual
+			// ResetSecure+zero; this pays its streaming cost.
+			cost := spad.FlushCost(uint64(j.kvLines*s.deps.Cfg.SpadLineBytes),
+				s.deps.Cfg.DRAMBytesPerCycle, s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			c.freeAt = at + cost
+			s.flushCycles += cost
+			s.decide(at, c.id, "kv_scrub", j.lead(), fmt.Sprintf("lines=%d", j.kvLines))
+			j.kvLines = 0
+		}
 		if rep := s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnUnload, Args: []uint64{uint64(j.monID)}}); rep.Err == nil {
 			s.invalidateWindows(c)
 		}
@@ -1189,9 +1504,19 @@ func (s *Scheduler) invalidateWindows(c *coreState) {
 // teardownJob scrubs a failing job's residency: the monitor aborts and
 // zeroes the secure task fail-closed; non-secure members release their
 // DMA chunk and translation-window slot.
-func (s *Scheduler) teardownJob(c *coreState, j *job) {
+func (s *Scheduler) teardownJob(c *coreState, j *job, at sim.Cycle) {
 	if j.secure {
 		s.closeBatch(j)
+		if j.decode && j.kvLines > 0 {
+			// Fail-closed KV scrub: FnAbort wipes the window; the abort
+			// path still pays the streaming cost of walking it.
+			cost := spad.FlushCost(uint64(j.kvLines*s.deps.Cfg.SpadLineBytes),
+				s.deps.Cfg.DRAMBytesPerCycle, s.deps.Cfg.DRAMLatency, s.deps.Stats)
+			c.freeAt = at + cost
+			s.flushCycles += cost
+			s.decide(at, c.id, "kv_scrub", j.lead(), fmt.Sprintf("lines=%d", j.kvLines))
+			j.kvLines = 0
+		}
 		task, err := s.deps.Monitor.Task(j.monID)
 		if err == nil && task != nil {
 			_ = s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnAbort, Args: []uint64{uint64(j.monID)}})
@@ -1230,8 +1555,11 @@ func (s *Scheduler) abortMember(m *reqState, at sim.Cycle, core int, retryable b
 // surfaces only the opaque ErrTaskAborted, with no retry — a task the
 // monitor refused is not coming back.
 func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
-	s.teardownJob(c, j)
+	s.teardownJob(c, j, at)
 	for i := j.idx; i < len(j.members); i++ {
+		if j.members[i].terminal {
+			continue
+		}
 		s.abortMember(j.members[i], at, c.id, false)
 	}
 	_ = cause // never surfaced: the abort is opaque to the untrusted side
@@ -1249,11 +1577,14 @@ func (s *Scheduler) abortJob(c *coreState, j *job, at sim.Cycle, cause error) {
 // everyone else is abandoned with the same opaque error, marked
 // Retryable so clients know a resubmission is worthwhile.
 func (s *Scheduler) faultJob(c *coreState, j *job, at sim.Cycle, cause error) {
-	s.teardownJob(c, j)
+	s.teardownJob(c, j, at)
 	_ = cause // never surfaced — same opacity as abortJob
 	retry := j.secure && s.cfg.MaxRestarts > 0
 	for i := j.idx; i < len(j.members); i++ {
 		m := j.members[i]
+		if m.terminal {
+			continue
+		}
 		m.ex = nil
 		if !retry || m.attempts >= s.cfg.MaxRestarts {
 			s.abortMember(m, at, c.id, j.secure)
@@ -1292,7 +1623,7 @@ func (s *Scheduler) faultJob(c *coreState, j *job, at sim.Cycle, cause error) {
 func (s *Scheduler) missDeadline(c *coreState, j *job, at sim.Cycle) {
 	m := j.cur()
 	if j.secure {
-		cost := spad.FlushCost(npu.FlushLiveBytes(m.prog), s.deps.Cfg.DRAMBytesPerCycle,
+		cost := spad.FlushCost(npu.FlushLiveBytes(m.curProg()), s.deps.Cfg.DRAMBytesPerCycle,
 			s.deps.Cfg.DRAMLatency, s.deps.Stats)
 		c.freeAt = at + cost
 		s.flushCycles += cost
@@ -1351,6 +1682,9 @@ func (s *Scheduler) rejectStranded(at sim.Cycle) {
 			_ = s.deps.Monitor.Dispatch(monitor.Call{Func: monitor.FnUnload, Args: []uint64{uint64(j.monID)}})
 		}
 		for i := j.idx; i < len(j.members); i++ {
+			if j.members[i].terminal {
+				continue
+			}
 			s.reject(j.members[i], at, "no capacity")
 		}
 	}
@@ -1382,8 +1716,16 @@ func (s *Scheduler) assemble() *Report {
 			Completed: rs.completed, Dropped: rs.dropped,
 			Aborted: rs.aborted, Rejected: rs.rejected,
 			Shed: rs.shed, Err: rs.errMsg,
+			Tokens: len(rs.tokenEnds),
 		}
 		rep.Results = append(rep.Results, r)
+		if len(rs.tokenEnds) > 0 {
+			if rep.TokenTimes == nil {
+				rep.TokenTimes = make(map[int][]sim.Cycle)
+			}
+			rep.TokenTimes[rs.req.ID] = append([]sim.Cycle(nil), rs.tokenEnds...)
+			rep.Tokens += len(rs.tokenEnds)
+		}
 		rep.Preemptions += rs.preempts
 		rep.Retries += rs.attempts
 		switch {

@@ -180,6 +180,38 @@ type SubmitRequest struct {
 	// unknown fields or ops, shape errors, cycles — is a 400; nothing
 	// reaches the scheduler.
 	Graph json.RawMessage `json:"graph,omitempty"`
+	// Decode, when present, submits an autoregressive decode request:
+	// one prefill pass over the prompt plus Steps single-token passes
+	// against a monitor-resident KV window. Secure-only (the KV window
+	// is ID-bit-tagged secure state) and exclusive with Graph. The
+	// completed result's "tokens" field counts emitted tokens.
+	Decode *DecodeParams `json:"decode,omitempty"`
+}
+
+// DecodeParams mirrors workload.DecodeSpec for the wire: Layers
+// defaults to 1 and FFN to 4x Hidden, exactly as the graph IR's
+// Decode op defaults them.
+type DecodeParams struct {
+	Layers int `json:"layers,omitempty"`
+	Hidden int `json:"hidden"`
+	Heads  int `json:"heads"`
+	FFN    int `json:"ffn,omitempty"`
+	Prompt int `json:"prompt"`
+	Steps  int `json:"steps"`
+}
+
+func (p *DecodeParams) spec() *workload.DecodeSpec {
+	spec := workload.DecodeSpec{
+		Layers: p.Layers, Hidden: p.Hidden, Heads: p.Heads,
+		FFN: p.FFN, Prompt: p.Prompt, Steps: p.Steps,
+	}
+	if spec.Layers == 0 {
+		spec.Layers = 1
+	}
+	if spec.FFN == 0 {
+		spec.FFN = 4 * spec.Hidden
+	}
+	return &spec
 }
 
 // KeyRequest is the POST /v1/keys body.
@@ -206,6 +238,9 @@ type RunReport struct {
 	Recovered   int            `json:"recovered"`
 	Preemptions int            `json:"preemptions"`
 	BatchedRuns int            `json:"batched_runs"`
+	// Tokens is the episode's total decode-token output; per-request
+	// counts ride in each result's "tokens" field.
+	Tokens int `json:"tokens,omitempty"`
 }
 
 type errorBody struct {
@@ -310,6 +345,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "deadline %d not after arrival %d", req.Deadline, req.Arrival)
 		return
 	}
+	if req.Decode != nil && len(req.Graph) > 0 {
+		writeErr(w, http.StatusBadRequest, "decode and graph are mutually exclusive")
+		return
+	}
+	var spec *workload.DecodeSpec
+	if req.Decode != nil {
+		spec = req.Decode.spec()
+	}
 	// An inline graph compiles before taking the server lock —
 	// compilation is pure, and a hostile graph should burn no time
 	// inside the critical section.
@@ -330,7 +373,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// A registered custom model resolves by name when no inline graph
 	// was supplied.
-	if custom == nil {
+	if custom == nil && spec == nil {
 		if m, ok := s.models[req.Model]; ok {
 			wl := m.Clone()
 			custom = &wl
@@ -345,6 +388,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Tenant:   req.Tenant,
 		Model:    req.Model,
 		Workload: custom,
+		Decode:   spec,
 		Secure:   req.Secure,
 		Priority: sched.Priority(req.Priority),
 		Arrival:  sim.Cycle(req.Arrival),
@@ -438,6 +482,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Recovered:   rep.Recovered,
 		Preemptions: rep.Preemptions,
 		BatchedRuns: rep.BatchedRuns,
+		Tokens:      rep.Tokens,
 	}
 	for _, d := range rep.Decisions {
 		out.DecisionLog = append(out.DecisionLog, d.String())

@@ -1,0 +1,92 @@
+package spad
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tee"
+)
+
+func claimTestSpad(t *testing.T, idBits int) (*Scratchpad, tee.Context) {
+	t.Helper()
+	sp, err := New(Config{Lines: 64, LineBytes: 16, Kind: Exclusive, IDBits: idBits, Isolated: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := tee.NewMachine(nil)
+	return sp, machine.SecureContext()
+}
+
+func TestClaimRetagsAndZeroes(t *testing.T) {
+	sp, ctx := claimTestSpad(t, 4)
+	// Leave residue from the secure world in the target range.
+	if err := sp.Write(SecureDomain, 10, []byte("old-secret")); err != nil {
+		t.Fatal(err)
+	}
+	const kvDom = DomainID(3)
+	if err := sp.Claim(ctx, 8, 16, kvDom); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	for line := 8; line < 16; line++ {
+		if sp.LineID(line) != kvDom {
+			t.Fatalf("line %d tagged %d, want %d", line, sp.LineID(line), kvDom)
+		}
+		if sp.LineValid(line) {
+			t.Fatalf("line %d still valid after claim", line)
+		}
+	}
+	// The residue is gone: the new domain reads zeroes after writing.
+	buf := make([]byte, 16)
+	if err := sp.Write(kvDom, 10, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Read(kvDom, 10, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf[1:] {
+		if b != 0 {
+			t.Fatalf("byte %d survived the claim: %#x", i+1, b)
+		}
+	}
+}
+
+func TestClaimedLinesDenyOtherDomains(t *testing.T) {
+	sp, ctx := claimTestSpad(t, 4)
+	const kvDom = DomainID(2)
+	if err := sp.Claim(ctx, 0, 8, kvDom); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Write(kvDom, 4, []byte{0x5A}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for _, probe := range []DomainID{NonSecure, SecureDomain, 5} {
+		if err := sp.Read(probe, 4, buf); !errors.Is(err, ErrIsolation) {
+			t.Fatalf("domain %d read of claimed line: err=%v, want ErrIsolation", probe, err)
+		}
+	}
+	// ResetSecure still reclaims claimed lines for the normal world.
+	if err := sp.ResetSecure(ctx, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.CountDomain(kvDom); n != 0 {
+		t.Fatalf("%d lines still tagged %d after ResetSecure", n, kvDom)
+	}
+}
+
+func TestClaimRequiresSecureContextAndValidRange(t *testing.T) {
+	sp, ctx := claimTestSpad(t, 2)
+	machine := tee.NewMachine(nil)
+	if err := sp.Claim(machine.NormalContext(), 0, 4, 2); err == nil {
+		t.Fatal("non-secure claim accepted")
+	}
+	if err := sp.Claim(ctx, -1, 4, 2); err == nil {
+		t.Fatal("negative range accepted")
+	}
+	if err := sp.Claim(ctx, 0, sp.Lines()+1, 2); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+	if err := sp.Claim(ctx, 0, 4, 9); err == nil {
+		t.Fatal("domain beyond 2-bit ID state accepted")
+	}
+}

@@ -339,6 +339,38 @@ func (s *Scratchpad) ResetSecure(ctx tee.Context, from, to int) error {
 	return nil
 }
 
+// Claim is the dedicated secure instruction that assigns lines
+// [from, to) to domain d, zeroing their payload first so nothing a
+// previous owner wrote rides into the new domain. It is ResetSecure's
+// dual: where ResetSecure returns lines to the normal world, Claim
+// hands them to a named domain (the monitor uses it to carve resident
+// KV-cache windows tagged with per-task ID bits, §IV-B / §VII
+// "Multiple Secure Domains"). Only the secure world may issue it, and
+// the target domain must fit the configured ID width.
+func (s *Scratchpad) Claim(ctx tee.Context, from, to int, d DomainID) error {
+	if err := ctx.RequireSecure(); err != nil {
+		return err
+	}
+	if err := s.checkDomain(d); err != nil {
+		return err
+	}
+	if from < 0 || to > s.cfg.Lines || from > to {
+		return fmt.Errorf("spad: claim range [%d,%d) out of bounds", from, to)
+	}
+	for line := from; line < to; line++ {
+		dst := s.lineSlice(line)
+		for i := range dst {
+			dst[i] = 0
+		}
+		s.ids[line] = d
+		s.valid[line] = false
+		if s.parity != nil {
+			s.parity[line] = 0
+		}
+	}
+	return nil
+}
+
 // Reset power-cycles the scratchpad for arena-style reuse: every
 // payload byte is zeroed, every line returns to the non-secure domain
 // and the never-written state, stored parity is cleared, and any fault

@@ -51,9 +51,13 @@ type Config struct {
 }
 
 // DefaultConfig mirrors the paper's evaluation SoC with all sNPU
-// protections enabled.
+// protections enabled. IDBits is widened beyond the two-world minimum
+// so the monitor can tag resident KV-cache windows with per-task
+// domains (monitor/kv.go); the tag width is timing-neutral.
 func DefaultConfig() Config {
-	return Config{NPU: npu.DefaultConfig(), Protected: true}
+	cfg := npu.DefaultConfig()
+	cfg.IDBits = 4
+	return Config{NPU: cfg, Protected: true}
 }
 
 // BaselineConfig builds the unprotected comparison system.
